@@ -1,0 +1,255 @@
+//! The simulated cloud service and CA: the one-time infrastructure
+//! requirement of Fig. 2a.
+//!
+//! "AlleyOop Social assumes that users will have Internet connectivity
+//! during the initial download and installation of the mobile app. After
+//! the one-time infrastructure requirement, Internet connectivity is no
+//! longer needed for privacy, security, and message dissemination."
+//!
+//! The cloud: creates accounts, asks the CA to issue certificates after
+//! cross-checking the claimed unique user-identifier (§IV's defence
+//! against a malicious device providing someone else's identifier),
+//! records follow actions synced by online devices, and serves CRL
+//! updates. Devices may only call it while online.
+
+use sos_crypto::ca::{CertificateAuthority, RevocationList};
+use sos_crypto::cert::Certificate;
+use sos_crypto::{UserId, VerifyingKey};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Errors from cloud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// The user id is already registered to a different key.
+    UserIdTaken,
+    /// The claimed user id did not match the authenticated account
+    /// (paper §IV: the CA compares the unique user-identifier).
+    IdentityMismatch,
+    /// The account does not exist.
+    UnknownAccount,
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::UserIdTaken => f.write_str("user id already registered"),
+            CloudError::IdentityMismatch => f.write_str("claimed identity mismatch"),
+            CloudError::UnknownAccount => f.write_str("unknown account"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// A registered account as the cloud sees it.
+#[derive(Clone, Debug)]
+pub struct Account {
+    /// The unique 10-byte user identifier.
+    pub user_id: UserId,
+    /// The display handle.
+    pub handle: String,
+    /// The account's registered verification key.
+    pub verifying_key: VerifyingKey,
+    /// Serial of the issued certificate.
+    pub certificate_serial: u64,
+}
+
+/// The cloud backend: accounts, the CA, and the authoritative follow
+/// graph (populated as devices sync their actions when online).
+#[derive(Debug)]
+pub struct Cloud {
+    ca: CertificateAuthority,
+    accounts: BTreeMap<UserId, Account>,
+    follows: BTreeMap<UserId, BTreeSet<UserId>>,
+}
+
+impl Cloud {
+    /// Creates the cloud with a fresh CA.
+    pub fn new(ca_name: &str, ca_seed: [u8; 32]) -> Cloud {
+        Cloud {
+            ca: CertificateAuthority::new(ca_name, ca_seed, 0, u64::MAX),
+            accounts: BTreeMap::new(),
+            follows: BTreeMap::new(),
+        }
+    }
+
+    /// The CA root certificate every device receives at signup.
+    pub fn root_certificate(&self) -> &Certificate {
+        self.ca.root_certificate()
+    }
+
+    /// Signup (Fig. 2a): registers the account, cross-checks the unique
+    /// user identifier, and returns the issued certificate.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UserIdTaken`] if the id is registered to another
+    /// key (a malicious device claiming someone else's identifier).
+    pub fn sign_up(
+        &mut self,
+        user_id: UserId,
+        handle: &str,
+        verifying_key: VerifyingKey,
+        agreement_public: [u8; 32],
+        now_secs: u64,
+    ) -> Result<Certificate, CloudError> {
+        if let Some(existing) = self.accounts.get(&user_id) {
+            if existing.verifying_key != verifying_key {
+                return Err(CloudError::UserIdTaken);
+            }
+        }
+        let cert = self
+            .ca
+            .issue(user_id, handle, verifying_key, agreement_public, now_secs);
+        self.accounts.insert(
+            user_id,
+            Account {
+                user_id,
+                handle: handle.to_string(),
+                verifying_key,
+                certificate_serial: cert.serial,
+            },
+        );
+        Ok(cert)
+    }
+
+    /// Records a follow action synced from an online device.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownAccount`] if either side is not registered.
+    pub fn record_follow(&mut self, follower: UserId, followee: UserId) -> Result<(), CloudError> {
+        if !self.accounts.contains_key(&follower) || !self.accounts.contains_key(&followee) {
+            return Err(CloudError::UnknownAccount);
+        }
+        self.follows.entry(follower).or_default().insert(followee);
+        Ok(())
+    }
+
+    /// Records an unfollow action.
+    pub fn record_unfollow(&mut self, follower: UserId, followee: UserId) {
+        if let Some(set) = self.follows.get_mut(&follower) {
+            set.remove(&followee);
+        }
+    }
+
+    /// Who `user` follows, per the cloud's (eventually-consistent) view.
+    pub fn follows_of(&self, user: &UserId) -> BTreeSet<UserId> {
+        self.follows.get(user).cloned().unwrap_or_default()
+    }
+
+    /// All registered accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = &Account> {
+        self.accounts.values()
+    }
+
+    /// Revokes a user's certificate (requires infrastructure, §IV).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnknownAccount`] for unregistered users.
+    pub fn revoke_user(&mut self, user: &UserId) -> Result<(), CloudError> {
+        let account = self.accounts.get(user).ok_or(CloudError::UnknownAccount)?;
+        self.ca.revoke(account.certificate_serial);
+        Ok(())
+    }
+
+    /// The current signed revocation list, served to online devices.
+    pub fn revocation_list(&self, now_secs: u64) -> RevocationList {
+        self.ca.revocation_list(now_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_crypto::ed25519::SigningKey;
+    use sos_crypto::x25519::AgreementKey;
+
+    fn keys(seed: u8) -> (SigningKey, AgreementKey) {
+        (
+            SigningKey::from_seed([seed; 32]),
+            AgreementKey::from_secret([seed.wrapping_add(1); 32]),
+        )
+    }
+
+    #[test]
+    fn signup_issues_valid_certificate() {
+        let mut cloud = Cloud::new("AlleyOop CA", [5u8; 32]);
+        let (sk, ak) = keys(1);
+        let uid = UserId::from_str_padded("alice");
+        let cert = cloud
+            .sign_up(uid, "Alice", sk.verifying_key(), *ak.public(), 100)
+            .unwrap();
+        assert_eq!(cert.subject, uid);
+        let validator = sos_crypto::Validator::new(cloud.root_certificate().clone());
+        assert!(validator.validate(&cert, 200).is_ok());
+    }
+
+    #[test]
+    fn identity_theft_blocked() {
+        let mut cloud = Cloud::new("AlleyOop CA", [5u8; 32]);
+        let (sk1, ak1) = keys(1);
+        let (sk2, ak2) = keys(2);
+        let uid = UserId::from_str_padded("alice");
+        cloud
+            .sign_up(uid, "Alice", sk1.verifying_key(), *ak1.public(), 0)
+            .unwrap();
+        // Mallory claims Alice's user id with her own key.
+        assert_eq!(
+            cloud
+                .sign_up(uid, "Alice?", sk2.verifying_key(), *ak2.public(), 0)
+                .unwrap_err(),
+            CloudError::UserIdTaken
+        );
+    }
+
+    #[test]
+    fn re_signup_with_same_key_reissues() {
+        let mut cloud = Cloud::new("AlleyOop CA", [5u8; 32]);
+        let (sk, ak) = keys(1);
+        let uid = UserId::from_str_padded("alice");
+        let c1 = cloud
+            .sign_up(uid, "Alice", sk.verifying_key(), *ak.public(), 0)
+            .unwrap();
+        let c2 = cloud
+            .sign_up(uid, "Alice", sk.verifying_key(), *ak.public(), 50)
+            .unwrap();
+        assert_ne!(c1.serial, c2.serial, "reissue gets a fresh serial");
+    }
+
+    #[test]
+    fn follow_graph_sync() {
+        let mut cloud = Cloud::new("AlleyOop CA", [5u8; 32]);
+        let (sk1, ak1) = keys(1);
+        let (sk2, ak2) = keys(2);
+        let alice = UserId::from_str_padded("alice");
+        let bob = UserId::from_str_padded("bob");
+        cloud.sign_up(alice, "Alice", sk1.verifying_key(), *ak1.public(), 0).unwrap();
+        cloud.sign_up(bob, "Bob", sk2.verifying_key(), *ak2.public(), 0).unwrap();
+        cloud.record_follow(bob, alice).unwrap();
+        assert!(cloud.follows_of(&bob).contains(&alice));
+        cloud.record_unfollow(bob, alice);
+        assert!(cloud.follows_of(&bob).is_empty());
+    }
+
+    #[test]
+    fn revocation_round_trip() {
+        let mut cloud = Cloud::new("AlleyOop CA", [5u8; 32]);
+        let (sk, ak) = keys(1);
+        let uid = UserId::from_str_padded("alice");
+        let cert = cloud
+            .sign_up(uid, "Alice", sk.verifying_key(), *ak.public(), 0)
+            .unwrap();
+        cloud.revoke_user(&uid).unwrap();
+        let crl = cloud.revocation_list(10);
+        assert!(crl.serials.contains(&cert.serial));
+        let mut validator = sos_crypto::Validator::new(cloud.root_certificate().clone());
+        assert!(validator.install_crl(crl));
+        assert_eq!(
+            validator.validate(&cert, 10).unwrap_err(),
+            sos_crypto::CertError::Revoked
+        );
+    }
+}

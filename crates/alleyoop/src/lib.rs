@@ -1,0 +1,30 @@
+//! # alleyoop
+//!
+//! **AlleyOop Social** — the delay tolerant social network built on the
+//! SOS middleware (paper §I: users "interact, publish messages, and
+//! discover others that share common interests in an intermittent
+//! network").
+//!
+//! The name comes from basketball: a message that cannot reach its final
+//! destination is "caught" by intermediate devices that keep passing it
+//! until it scores. This crate is the application layer of Fig. 1
+//! (green): it owns the user interface state (accounts, posts, follows,
+//! feeds), a local database, and cloud synchronization — while all
+//! dissemination, security and routing live below in `sos-core`.
+//!
+//! * [`cloud`] — the simulated cloud + CA of the one-time
+//!   infrastructure requirement (Fig. 2a)
+//! * [`db`] — the on-device database of posts and actions
+//! * [`app`] — the application: signup, posting, following, feeds, and
+//!   the SOS event loop
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod cloud;
+pub mod db;
+
+pub use app::AlleyOopApp;
+pub use cloud::{Cloud, CloudError};
+pub use db::{DirectMessage, LocalDb, PendingAction, ReceivedPost};

@@ -1,0 +1,96 @@
+//! Microbenchmarks for the cryptographic substrate: the per-message and
+//! per-connection costs the security layer (§IV) adds to dissemination.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sos_crypto::aead;
+use sos_crypto::ca::CertificateAuthority;
+use sos_crypto::cert::UserId;
+use sos_crypto::ed25519::SigningKey;
+use sos_crypto::sha2;
+use sos_crypto::x25519::AgreementKey;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha2");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha2::sha256(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let sk = SigningKey::from_seed([7; 32]);
+    let vk = sk.verifying_key();
+    let msg = vec![0x5au8; 256];
+    let sig = sk.sign(&msg);
+    c.bench_function("ed25519/sign_256B", |b| {
+        b.iter(|| sk.sign(std::hint::black_box(&msg)))
+    });
+    c.bench_function("ed25519/verify_256B", |b| {
+        b.iter(|| {
+            assert!(vk.verify(std::hint::black_box(&msg), &sig));
+        })
+    });
+}
+
+fn bench_agreement(c: &mut Criterion) {
+    let a = AgreementKey::from_secret([1; 32]);
+    let b_key = AgreementKey::from_secret([2; 32]);
+    c.bench_function("x25519/agree", |b| {
+        b.iter(|| a.agree(std::hint::black_box(b_key.public())).unwrap())
+    });
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let key = [9u8; 32];
+    let nonce = [1u8; 12];
+    let mut group = c.benchmark_group("chacha20poly1305");
+    for size in [128usize, 1024, 16 * 1024] {
+        let data = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal/{size}"), |b| {
+            b.iter(|| aead::seal(&key, &nonce, b"aad", std::hint::black_box(&data)))
+        });
+        let sealed = aead::seal(&key, &nonce, b"aad", &data);
+        group.bench_function(format!("open/{size}"), |b| {
+            b.iter(|| aead::open(&key, &nonce, b"aad", std::hint::black_box(&sealed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut ca = CertificateAuthority::new("Root", [3; 32], 0, u64::MAX);
+    let sk = SigningKey::from_seed([4; 32]);
+    let ak = AgreementKey::from_secret([5; 32]);
+    let cert = ca.issue(
+        UserId::from_str_padded("alice"),
+        "Alice",
+        sk.verifying_key(),
+        *ak.public(),
+        0,
+    );
+    let validator = sos_crypto::Validator::new(ca.root_certificate().clone());
+    c.bench_function("cert/validate", |b| {
+        b.iter(|| validator.validate(std::hint::black_box(&cert), 10).unwrap())
+    });
+    c.bench_function("cert/encode_decode", |b| {
+        b.iter(|| {
+            let bytes = cert.to_bytes();
+            sos_crypto::Certificate::from_bytes(std::hint::black_box(&bytes)).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_signatures,
+    bench_agreement,
+    bench_aead,
+    bench_certificates
+);
+criterion_main!(benches);

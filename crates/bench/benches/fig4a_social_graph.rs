@@ -1,0 +1,19 @@
+//! Fig. 4a regeneration benchmark: reconstructing the study digraph and
+//! computing every published statistic (density, average shortest path,
+//! diameter, radius, eccentricity, transitivity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sos_experiments::social;
+
+fn bench_fig4a(c: &mut Criterion) {
+    c.bench_function("fig4a/build_and_report", |b| {
+        b.iter(|| {
+            let report = social::field_study_report();
+            assert_eq!(report.subscriptions, 46);
+            report
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

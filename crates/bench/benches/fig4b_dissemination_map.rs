@@ -1,0 +1,35 @@
+//! Fig. 4b regeneration benchmark: generating the population's
+//! trajectories and scanning the week for pairwise contacts — the
+//! geometry underneath the message generation/dissemination map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sos_sim::mobility::schedule::{DailySchedule, ScheduleConfig};
+use sos_sim::{SimDuration, SimTime, World};
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b");
+    group.sample_size(10);
+
+    group.bench_function("trajectories_10_nodes_7_days", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let sched = DailySchedule::new(ScheduleConfig::default(), 10, &mut rng);
+            sched.generate_all(42)
+        })
+    });
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sched = DailySchedule::new(ScheduleConfig::default(), 10, &mut rng);
+    let trajectories = sched.generate_all(42);
+    group.bench_function("contact_scan_7_days_30s_tick", |b| {
+        b.iter_with_setup(
+            || World::new(trajectories.clone(), 60.0, SimDuration::from_secs(30)),
+            |world| world.contact_events(SimTime::ZERO, SimTime::from_hours(7 * 24)),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 4c regeneration benchmark: a reduced field-study run producing
+//! the delivery-delay records, plus the CDF evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sos_bench::bench_config;
+use sos_core::routing::SchemeKind;
+use sos_experiments::scenario::run_field_study;
+use sos_sim::metrics::Cdf;
+
+fn bench_fig4c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c");
+    group.sample_size(10);
+    group.bench_function("one_day_study_delay_records", |b| {
+        let cfg = bench_config(SchemeKind::InterestBased);
+        b.iter(|| {
+            let outcome = run_field_study(&cfg);
+            (
+                outcome.metrics.delays.cdf_all_hours().len(),
+                outcome.metrics.delays.cdf_one_hop_hours().len(),
+            )
+        })
+    });
+    group.finish();
+
+    // CDF evaluation on a large synthetic sample (the post-processing
+    // step of the figure).
+    let samples: Vec<f64> = (0..100_000).map(|i| (i % 9677) as f64 / 100.0).collect();
+    c.bench_function("fig4c/cdf_build_100k", |b| {
+        b.iter(|| Cdf::from_samples(std::hint::black_box(samples.clone())))
+    });
+    let cdf = Cdf::from_samples(samples);
+    let xs: Vec<f64> = (0..=96).map(|h| h as f64).collect();
+    c.bench_function("fig4c/cdf_series_97_points", |b| {
+        b.iter(|| cdf.series(std::hint::black_box(&xs)))
+    });
+}
+
+criterion_group!(benches, bench_fig4c);
+criterion_main!(benches);

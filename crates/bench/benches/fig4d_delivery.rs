@@ -1,0 +1,39 @@
+//! Fig. 4d regeneration benchmark: per-subscription delivery-ratio
+//! bookkeeping and its CDF, plus the reduced study producing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sos_bench::bench_config;
+use sos_core::routing::SchemeKind;
+use sos_experiments::scenario::run_field_study;
+use sos_sim::metrics::DeliveryRecorder;
+
+fn bench_fig4d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d");
+    group.sample_size(10);
+    group.bench_function("one_day_study_delivery_ratios", |b| {
+        let cfg = bench_config(SchemeKind::InterestBased);
+        b.iter(|| {
+            let outcome = run_field_study(&cfg);
+            outcome.metrics.delivery.ratio_cdf().len()
+        })
+    });
+    group.finish();
+
+    c.bench_function("fig4d/recorder_100k_events", |b| {
+        b.iter(|| {
+            let mut rec = DeliveryRecorder::new();
+            for i in 0..100_000u64 {
+                let follower = (i % 10) as usize;
+                let followee = ((i / 10) % 10) as usize;
+                rec.expect(follower, followee);
+                if i % 5 != 0 {
+                    rec.delivered(follower, followee);
+                }
+            }
+            rec.ratio_cdf()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig4d);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Social-graph analytics costs (the §VI-A measurements) on the study
+//! graph and on larger synthetic graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use sos_graph::{Digraph, GraphMetrics, SocialGraphReport};
+
+fn random_digraph(n: usize, p: f64, seed: u64) -> Digraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut g = Digraph::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(p) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let study = sos_experiments::social::field_study_digraph();
+    c.bench_function("graph/fig4a_report_n10", |b| {
+        b.iter(|| SocialGraphReport::compute(std::hint::black_box(&study)))
+    });
+
+    let mut group = c.benchmark_group("graph/random");
+    for n in [50usize, 100, 200] {
+        let g = random_digraph(n, 0.1, 7);
+        let und = g.to_undirected();
+        group.bench_function(format!("metrics_n{n}"), |b| {
+            b.iter(|| GraphMetrics::compute(std::hint::black_box(&und)))
+        });
+        group.bench_function(format!("transitivity_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(&und).transitivity())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Cost of a full secure connection establishment (Fig. 2b): the
+//! certificate-exchange handshake plus the first encrypted payload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sos_crypto::ca::{CertificateAuthority, Validator};
+use sos_crypto::cert::UserId;
+use sos_crypto::ed25519::SigningKey;
+use sos_crypto::x25519::AgreementKey;
+use sos_crypto::DeviceIdentity;
+use sos_net::handshake::{Initiator, Responder};
+
+fn identity(ca: &mut CertificateAuthority, seed: u8, name: &str) -> DeviceIdentity {
+    let signing = SigningKey::from_seed([seed; 32]);
+    let agreement = AgreementKey::from_secret([seed.wrapping_add(50); 32]);
+    let uid = UserId::from_str_padded(name);
+    let cert = ca.issue(uid, name, signing.verifying_key(), *agreement.public(), 0);
+    DeviceIdentity::new(
+        uid,
+        signing,
+        agreement,
+        cert,
+        Validator::new(ca.root_certificate().clone()),
+    )
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut ca = CertificateAuthority::new("Root", [1; 32], 0, u64::MAX);
+    let alice = identity(&mut ca, 10, "alice");
+    let bob = identity(&mut ca, 20, "bob");
+
+    c.bench_function("handshake/full_mutual_auth", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let init = Initiator::start(&bob, &mut rng);
+            let (response, _alice_sess, _) =
+                Responder::respond(&alice, init.message(), 100, &mut rng).unwrap();
+            let (_bob_sess, _) = init.finish(&bob, &response, 100).unwrap();
+        })
+    });
+
+    c.bench_function("handshake/session_payload_roundtrip_1KiB", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let init = Initiator::start(&bob, &mut rng);
+        let (response, mut alice_sess, _) =
+            Responder::respond(&alice, init.message(), 100, &mut rng).unwrap();
+        let (mut bob_sess, _) = init.finish(&bob, &response, 100).unwrap();
+        let payload = vec![0u8; 1024];
+        b.iter(|| {
+            let (seq, ct) = bob_sess.seal(b"", &payload);
+            alice_sess.open(seq, b"", &ct).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_handshake);
+criterion_main!(benches);

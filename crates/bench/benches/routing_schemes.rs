@@ -1,0 +1,70 @@
+//! Routing-manager decision costs: how fast each scheme evaluates an
+//! advertisement (the per-beacon hot path) — plus a full reduced-study
+//! run per scheme for end-to-end comparison (the ablation experiment).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sos_bench::bench_config;
+use sos_core::routing::{RoutingContext, SchemeKind};
+use sos_crypto::UserId;
+use sos_experiments::scenario::run_field_study;
+use sos_net::{Advertisement, PeerId};
+use sos_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn make_ad(entries: usize) -> Advertisement {
+    let mut ad = Advertisement::new(PeerId(1), UserId::from_str_padded("peer"));
+    for i in 0..entries {
+        ad.insert(UserId::from_str_padded(&format!("user-{i:03}")), i as u64 + 5);
+    }
+    ad
+}
+
+fn bench_interests(c: &mut Criterion) {
+    let me = UserId::from_str_padded("me");
+    let subscriptions: BTreeSet<UserId> = (0..20)
+        .map(|i| UserId::from_str_padded(&format!("user-{i:03}")))
+        .collect();
+    let summary: BTreeMap<UserId, u64> = (0..40)
+        .map(|i| (UserId::from_str_padded(&format!("user-{i:03}")), i as u64))
+        .collect();
+    let ad = make_ad(40);
+
+    let mut group = c.benchmark_group("routing/interests_40_entry_ad");
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || kind.build(),
+                |mut scheme| {
+                    let ctx = RoutingContext {
+                        me: &me,
+                        subscriptions: &subscriptions,
+                        summary: &summary,
+                        now: SimTime::from_hours(100),
+                    };
+                    scheme.interests(&ctx, &ad)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/one_day_field_study");
+    group.sample_size(10);
+    for kind in [
+        SchemeKind::Direct,
+        SchemeKind::InterestBased,
+        SchemeKind::Epidemic,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            let cfg = bench_config(kind);
+            b.iter(|| run_field_study(std::hint::black_box(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interests, bench_full_runs);
+criterion_main!(benches);

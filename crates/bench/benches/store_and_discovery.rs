@@ -1,0 +1,98 @@
+//! The dissemination hot path: message-store operations, advertisement
+//! construction/matching, and wire-frame encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sos_core::message::{Bundle, MessageKind, SosMessage};
+use sos_core::store::MessageStore;
+use sos_crypto::ca::CertificateAuthority;
+use sos_crypto::ed25519::SigningKey;
+use sos_crypto::x25519::AgreementKey;
+use sos_crypto::UserId;
+use sos_net::{Advertisement, Frame, PeerId};
+use sos_sim::SimTime;
+use std::collections::BTreeMap;
+
+fn make_bundle(sk: &SigningKey, cert: &sos_crypto::Certificate, author: &str, n: u64) -> Bundle {
+    let msg = SosMessage::create(
+        sk,
+        UserId::from_str_padded(author),
+        n,
+        SimTime::from_secs(n),
+        MessageKind::Post,
+        vec![0u8; 140],
+    );
+    Bundle::new(msg, cert.clone())
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut ca = CertificateAuthority::new("Root", [1; 32], 0, u64::MAX);
+    let sk = SigningKey::from_seed([2; 32]);
+    let ak = AgreementKey::from_secret([3; 32]);
+    let cert = ca.issue(
+        UserId::from_str_padded("alice"),
+        "Alice",
+        sk.verifying_key(),
+        *ak.public(),
+        0,
+    );
+
+    c.bench_function("store/insert_1000", |b| {
+        let bundles: Vec<Bundle> = (1..=1000).map(|n| make_bundle(&sk, &cert, "alice", n)).collect();
+        b.iter(|| {
+            let mut store = MessageStore::new();
+            for bundle in &bundles {
+                store.insert(bundle.clone());
+            }
+            store.len()
+        })
+    });
+
+    let mut store = MessageStore::new();
+    for author_idx in 0..10 {
+        for n in 1..=100u64 {
+            store.insert(make_bundle(&sk, &cert, &format!("user-{author_idx}"), n));
+        }
+    }
+    c.bench_function("store/summary_10x100", |b| {
+        b.iter(|| std::hint::black_box(&store).summary())
+    });
+    c.bench_function("store/bundles_after_tail", |b| {
+        b.iter(|| {
+            std::hint::black_box(&store).bundles_after(&UserId::from_str_padded("user-5"), 90)
+        })
+    });
+
+    c.bench_function("bundle/verify", |b| {
+        let validator = sos_crypto::Validator::new(ca.root_certificate().clone());
+        let bundle = make_bundle(&sk, &cert, "alice", 1);
+        b.iter(|| std::hint::black_box(&bundle).verify(&validator, 10).is_err())
+    });
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut ad = Advertisement::new(PeerId(1), UserId::from_str_padded("peer"));
+    let mut mine = BTreeMap::new();
+    for i in 0..100 {
+        let user = UserId::from_str_padded(&format!("user-{i:03}"));
+        ad.insert(user, i as u64 + 1);
+        if i % 2 == 0 {
+            mine.insert(user, i as u64); // stale → news
+        } else {
+            mine.insert(user, i as u64 + 1); // up to date
+        }
+    }
+    c.bench_function("discovery/users_with_news_100", |b| {
+        b.iter(|| std::hint::black_box(&ad).users_with_news(&mine))
+    });
+
+    let frame = Frame::Advertisement(ad);
+    c.bench_function("discovery/ad_frame_encode_decode_100", |b| {
+        b.iter(|| {
+            let bytes = frame.encode();
+            Frame::decode(std::hint::black_box(&bytes)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_store, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # sos-bench
+//!
+//! Criterion benchmarks for the SOS middleware reproduction. Each
+//! `benches/fig4*.rs` target regenerates the data behind one figure of
+//! the paper's evaluation (on a reduced scenario, so a bench iteration
+//! stays sub-second); the remaining targets profile the substrates the
+//! figures depend on (crypto, handshake, routing decisions, store and
+//! discovery, graph analytics).
+//!
+//! Run all of them with `cargo bench --workspace`; results land in
+//! `target/criterion/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sos_core::routing::SchemeKind;
+use sos_experiments::scenario::{small_test_config, FieldStudyConfig};
+
+/// A one-day, low-volume field-study configuration used by the
+/// figure benches so each iteration completes quickly.
+pub fn bench_config(scheme: SchemeKind) -> FieldStudyConfig {
+    let mut cfg = small_test_config(7, scheme);
+    cfg.days = 1;
+    cfg.total_posts = 20;
+    cfg
+}

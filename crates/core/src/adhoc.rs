@@ -1,0 +1,299 @@
+//! The ad hoc manager (paper §III-D): owns the device identity and the
+//! per-peer secure sessions, wrapping the Multipeer-Connectivity-style
+//! substrate.
+//!
+//! "The ad hoc manager is responsible for viewing discovered peers,
+//! establishing D2D connections, encrypting connections, encrypting data
+//! from end-to-end, generating keys, validating certificates, as well as
+//! signing and verifying data sent and received." It is one of the blue
+//! layers of Fig. 1: applications and routing schemes cannot reach the
+//! key material it holds.
+
+use sos_crypto::{DeviceIdentity, UserId};
+use sos_net::frame::DisconnectReason;
+use sos_net::session::{SessionEndpoint, SessionEvent, SessionState};
+use sos_net::{Frame, NetError, PeerId};
+use std::collections::HashMap;
+
+/// Per-peer session bookkeeping.
+#[derive(Debug)]
+struct SessionCtx {
+    endpoint: SessionEndpoint,
+    peer_user: Option<UserId>,
+}
+
+/// The ad hoc manager: identity plus one session slot per peer.
+///
+/// Sessions are serial per peer: while one is open, new invitations from
+/// the same peer are refused and retried at the next advertisement.
+#[derive(Debug)]
+pub struct AdHocManager {
+    peer_id: PeerId,
+    identity: DeviceIdentity,
+    sessions: HashMap<PeerId, SessionCtx>,
+}
+
+impl AdHocManager {
+    /// Creates the manager for a device.
+    pub fn new(peer_id: PeerId, identity: DeviceIdentity) -> AdHocManager {
+        AdHocManager {
+            peer_id,
+            identity,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// This device's peer id.
+    pub fn peer_id(&self) -> PeerId {
+        self.peer_id
+    }
+
+    /// The device identity (certificate, keys, validator).
+    pub fn identity(&self) -> &DeviceIdentity {
+        &self.identity
+    }
+
+    /// Mutable identity access (CRL installation when online).
+    pub fn identity_mut(&mut self) -> &mut DeviceIdentity {
+        &mut self.identity
+    }
+
+    /// True if a session slot exists for `peer` (any state).
+    pub fn has_session(&self, peer: PeerId) -> bool {
+        self.sessions.contains_key(&peer)
+    }
+
+    /// True if the session with `peer` is established.
+    pub fn is_connected(&self, peer: PeerId) -> bool {
+        self.sessions
+            .get(&peer)
+            .is_some_and(|s| s.endpoint.state() == SessionState::Connected)
+    }
+
+    /// The authenticated user behind `peer`, once known.
+    pub fn peer_user(&self, peer: PeerId) -> Option<UserId> {
+        self.sessions.get(&peer).and_then(|s| s.peer_user)
+    }
+
+    /// Number of open session slots.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Initiates a secure session with `peer` (Fig. 2b connection
+    /// request), returning the handshake frame to transmit.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnexpectedHandshake`] if a session already exists.
+    pub fn connect<R: rand::RngCore>(
+        &mut self,
+        peer: PeerId,
+        rng: &mut R,
+    ) -> Result<Frame, NetError> {
+        if self.sessions.contains_key(&peer) {
+            return Err(NetError::UnexpectedHandshake);
+        }
+        let mut endpoint = SessionEndpoint::new();
+        let frame = endpoint.connect(&self.identity, rng)?;
+        self.sessions.insert(
+            peer,
+            SessionCtx {
+                endpoint,
+                peer_user: None,
+            },
+        );
+        Ok(frame)
+    }
+
+    /// Feeds a session-layer frame from `peer` through its session.
+    /// Creates a responder session on an incoming `HandshakeInit`.
+    ///
+    /// On any error the session slot is removed so a later encounter can
+    /// retry from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates certificate, signature, ordering and state errors.
+    pub fn on_frame<R: rand::RngCore>(
+        &mut self,
+        peer: PeerId,
+        frame: Frame,
+        now_secs: u64,
+        rng: &mut R,
+    ) -> Result<SessionEvent, NetError> {
+        if matches!(frame, Frame::HandshakeInit(_)) {
+            if self.sessions.contains_key(&peer) {
+                // Session collision: refuse; peer retries after ours ends.
+                return Err(NetError::UnexpectedHandshake);
+            }
+            self.sessions.insert(
+                peer,
+                SessionCtx {
+                    endpoint: SessionEndpoint::new(),
+                    peer_user: None,
+                },
+            );
+        }
+        let ctx = self.sessions.get_mut(&peer).ok_or(NetError::NotConnected)?;
+        match ctx.endpoint.on_frame(&self.identity, frame, now_secs, rng) {
+            Ok(event) => {
+                if let Some(cert) = ctx.endpoint.peer_certificate() {
+                    ctx.peer_user = Some(cert.subject);
+                }
+                if matches!(event, SessionEvent::Closed(_)) {
+                    self.sessions.remove(&peer);
+                }
+                Ok(event)
+            }
+            Err(e) => {
+                self.sessions.remove(&peer);
+                Err(e)
+            }
+        }
+    }
+
+    /// Encrypts `payload` for `peer` over the established session.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NotConnected`] without an established session.
+    pub fn send_payload(&mut self, peer: PeerId, payload: &[u8]) -> Result<Frame, NetError> {
+        let ctx = self.sessions.get_mut(&peer).ok_or(NetError::NotConnected)?;
+        ctx.endpoint.send_payload(payload)
+    }
+
+    /// Closes the session with `peer`, returning the notification frame
+    /// if a session existed.
+    pub fn close(&mut self, peer: PeerId, reason: DisconnectReason) -> Option<Frame> {
+        self.sessions
+            .remove(&peer)
+            .map(|mut ctx| ctx.endpoint.close(reason))
+    }
+
+    /// Drops all sessions with peers not in `still_visible` (radio range
+    /// lost without a goodbye), returning the affected peers.
+    pub fn prune_sessions<F>(&mut self, mut still_visible: F) -> Vec<PeerId>
+    where
+        F: FnMut(PeerId) -> bool,
+    {
+        let gone: Vec<PeerId> = self
+            .sessions
+            .keys()
+            .copied()
+            .filter(|p| !still_visible(*p))
+            .collect();
+        for p in &gone {
+            self.sessions.remove(p);
+        }
+        gone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sos_crypto::ca::{CertificateAuthority, Validator};
+    use sos_crypto::ed25519::SigningKey;
+    use sos_crypto::x25519::AgreementKey;
+
+    fn identity(ca: &mut CertificateAuthority, seed: u8, name: &str) -> DeviceIdentity {
+        let signing = SigningKey::from_seed([seed; 32]);
+        let agreement = AgreementKey::from_secret([seed.wrapping_add(50); 32]);
+        let uid = UserId::from_str_padded(name);
+        let cert = ca.issue(uid, name, signing.verifying_key(), *agreement.public(), 0);
+        DeviceIdentity::new(
+            uid,
+            signing,
+            agreement,
+            cert,
+            Validator::new(ca.root_certificate().clone()),
+        )
+    }
+
+    fn managers() -> (AdHocManager, AdHocManager) {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        (
+            AdHocManager::new(PeerId(0), identity(&mut ca, 10, "alice")),
+            AdHocManager::new(PeerId(1), identity(&mut ca, 20, "bob")),
+        )
+    }
+
+    #[test]
+    fn connect_and_exchange() {
+        let (mut alice, mut bob) = managers();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+        let init = bob.connect(PeerId(0), &mut rng).unwrap();
+        let reply = match alice.on_frame(PeerId(1), init, 0, &mut rng).unwrap() {
+            SessionEvent::Reply(f) => f,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            bob.on_frame(PeerId(0), reply, 0, &mut rng).unwrap(),
+            SessionEvent::Established(_)
+        ));
+        assert!(alice.is_connected(PeerId(1)));
+        assert!(bob.is_connected(PeerId(0)));
+        assert_eq!(
+            alice.peer_user(PeerId(1)),
+            Some(UserId::from_str_padded("bob"))
+        );
+
+        let data = bob.send_payload(PeerId(0), b"hi").unwrap();
+        match alice.on_frame(PeerId(1), data, 0, &mut rng).unwrap() {
+            SessionEvent::Payload(p) => assert_eq!(p, b"hi"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn collision_refused() {
+        let (mut alice, mut bob) = managers();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let _ = alice.connect(PeerId(1), &mut rng).unwrap();
+        // Bob's init arrives while Alice already initiated to him.
+        let bob_init = bob.connect(PeerId(0), &mut rng).unwrap();
+        assert_eq!(
+            alice.on_frame(PeerId(1), bob_init, 0, &mut rng).unwrap_err(),
+            NetError::UnexpectedHandshake
+        );
+        // Alice's original (initiator) session survives the refusal.
+        assert!(alice.has_session(PeerId(1)));
+    }
+
+    #[test]
+    fn error_clears_session_for_retry() {
+        let (mut alice, _) = managers();
+        let mut evil_ca = CertificateAuthority::new("Root", [9u8; 32], 0, u64::MAX);
+        let mut mallory = AdHocManager::new(PeerId(2), identity(&mut evil_ca, 30, "mallory"));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let init = mallory.connect(PeerId(0), &mut rng).unwrap();
+        assert!(alice.on_frame(PeerId(2), init, 0, &mut rng).is_err());
+        assert!(!alice.has_session(PeerId(2)), "failed session removed");
+    }
+
+    #[test]
+    fn prune_drops_vanished_peers() {
+        let (mut alice, mut bob) = managers();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let init = bob.connect(PeerId(0), &mut rng).unwrap();
+        let _ = alice.on_frame(PeerId(1), init, 0, &mut rng).unwrap();
+        assert!(alice.has_session(PeerId(1)));
+        let gone = alice.prune_sessions(|_| false);
+        assert_eq!(gone, vec![PeerId(1)]);
+        assert!(!alice.has_session(PeerId(1)));
+    }
+
+    #[test]
+    fn close_emits_goodbye() {
+        let (mut alice, mut bob) = managers();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let init = bob.connect(PeerId(0), &mut rng).unwrap();
+        let _ = alice.on_frame(PeerId(1), init, 0, &mut rng).unwrap();
+        let bye = alice.close(PeerId(1), DisconnectReason::Done).unwrap();
+        assert!(matches!(bye, Frame::Disconnect { .. }));
+        assert!(alice.close(PeerId(1), DisconnectReason::Done).is_none());
+    }
+}

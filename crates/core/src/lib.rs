@@ -1,0 +1,87 @@
+//! # sos-core
+//!
+//! The **Secure Opportunistic Schemes (SOS) middleware** — the primary
+//! contribution of Baker et al., *"In Vivo Evaluation of the Secure
+//! Opportunistic Schemes Middleware using a Delay Tolerant Social
+//! Network"* (ICDCS 2017), reimplemented in Rust.
+//!
+//! SOS turns any mobile application into a delay tolerant networking
+//! application: devices discover each other opportunistically, establish
+//! certificate-authenticated encrypted sessions with **no
+//! infrastructure**, and replicate signed messages according to a
+//! pluggable routing scheme. The middleware stack mirrors Fig. 1 of the
+//! paper:
+//!
+//! | Layer | Module | Modifiable by |
+//! |---|---|---|
+//! | Application | (overlay crates, e.g. `alleyoop`) | app developers |
+//! | Routing manager | [`routing`] | researchers |
+//! | Message manager | [`middleware`], [`store`], [`sync`] | fixed |
+//! | Ad hoc manager | [`adhoc`] (over `sos-net`) | fixed |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sos_core::prelude::*;
+//! use sos_crypto::ca::{CertificateAuthority, Validator};
+//! use sos_crypto::ed25519::SigningKey;
+//! use sos_crypto::x25519::AgreementKey;
+//! use sos_crypto::{DeviceIdentity, UserId};
+//!
+//! # fn main() {
+//! // One-time infrastructure: a CA issues certificates at signup.
+//! let mut ca = CertificateAuthority::new("Root CA", [7; 32], 0, u64::MAX);
+//! let make_identity = |seed: u8, name: &str, ca: &mut CertificateAuthority| {
+//!     let signing = SigningKey::from_seed([seed; 32]);
+//!     let agreement = AgreementKey::from_secret([seed + 1; 32]);
+//!     let uid = UserId::from_str_padded(name);
+//!     let cert = ca.issue(uid, name, signing.verifying_key(), *agreement.public(), 0);
+//!     DeviceIdentity::new(uid, signing, agreement, cert,
+//!                         Validator::new(ca.root_certificate().clone()))
+//! };
+//!
+//! // Each app embeds its own middleware instance (no daemon).
+//! let mut alice = Sos::new(PeerId(0), make_identity(1, "alice", &mut ca),
+//!                          SchemeKind::InterestBased);
+//! let mut bob = Sos::new(PeerId(1), make_identity(3, "bob", &mut ca),
+//!                        SchemeKind::InterestBased);
+//! bob.subscribe(UserId::from_str_padded("alice"));
+//!
+//! // Alice posts; her advertisement now announces message #1.
+//! alice.post(MessageKind::Post, b"hello".to_vec(), SimTime::ZERO).unwrap();
+//! let ad = alice.advertisement(SimTime::ZERO);
+//! assert_eq!(ad.latest_for(&UserId::from_str_padded("alice")), Some(1));
+//! # }
+//! ```
+//!
+//! Dissemination requires a driver that moves frames between instances —
+//! see the `sos-experiments` crate for the discrete-event driver and the
+//! workspace examples for complete end-to-end scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adhoc;
+pub mod error;
+pub mod message;
+pub mod middleware;
+pub mod routing;
+pub mod store;
+pub mod sync;
+
+pub use adhoc::AdHocManager;
+pub use error::{BundleRejection, SosError};
+pub use message::{Bundle, MessageId, MessageKind, SosMessage, MAX_PAYLOAD};
+pub use middleware::{Sos, SosConfig, SosEvent, SosStats};
+pub use routing::{RoutingContext, RoutingScheme, SchemeKind};
+pub use store::{InsertOutcome, MessageStore};
+pub use sync::SyncMsg;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use crate::message::{MessageId, MessageKind};
+    pub use crate::middleware::{Sos, SosConfig, SosEvent, SosStats};
+    pub use crate::routing::{RoutingScheme, SchemeKind};
+    pub use sos_net::PeerId;
+    pub use sos_sim::{SimDuration, SimTime};
+}

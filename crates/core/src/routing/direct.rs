@@ -1,0 +1,83 @@
+//! Direct delivery: the classic lower-bound baseline. A subscriber only
+//! accepts messages from the author's own device; nobody forwards.
+
+use crate::message::Bundle;
+use crate::routing::{RoutingContext, RoutingScheme};
+use sos_crypto::UserId;
+use sos_net::Advertisement;
+
+/// Only author → subscriber transfers; no relaying at all.
+///
+/// Useful as the ablation baseline: the gap between `Direct` and the
+/// other schemes is exactly the value of opportunistic forwarding.
+#[derive(Clone, Debug, Default)]
+pub struct Direct;
+
+impl Direct {
+    /// Creates the scheme.
+    pub fn new() -> Direct {
+        Direct
+    }
+}
+
+impl RoutingScheme for Direct {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn interests(&mut self, ctx: &RoutingContext<'_>, ad: &Advertisement) -> Vec<UserId> {
+        // Only pull the advertiser's *own* messages, and only if we
+        // subscribe to them.
+        if &ad.user_id == ctx.me || !ctx.subscriptions.contains(&ad.user_id) {
+            return Vec::new();
+        }
+        let theirs = ad.latest_for(&ad.user_id).unwrap_or(0);
+        let mine = ctx.summary.get(&ad.user_id).copied().unwrap_or(0);
+        if theirs > mine {
+            vec![ad.user_id]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn should_carry(&mut self, _ctx: &RoutingContext<'_>, _bundle: &Bundle) -> bool {
+        // Received messages are delivered to the app but never
+        // re-advertised for others.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::{ad, bundle_from, OwnedCtx};
+
+    #[test]
+    fn pulls_only_from_the_author_itself() {
+        let owned = OwnedCtx::new("me", &["alice", "bob"], &[]);
+        let mut scheme = Direct::new();
+        // Peer "carol" advertises alice's messages: refused (not direct).
+        assert!(scheme
+            .interests(&owned.ctx(), &ad("carol", &[("alice", 3)]))
+            .is_empty());
+        // Alice herself advertises: accepted.
+        let got = scheme.interests(&owned.ctx(), &ad("alice", &[("alice", 3), ("bob", 9)]));
+        assert_eq!(got, vec![sos_crypto::UserId::from_str_padded("alice")]);
+    }
+
+    #[test]
+    fn respects_subscription_filter() {
+        let owned = OwnedCtx::new("me", &[], &[]);
+        let mut scheme = Direct::new();
+        assert!(scheme
+            .interests(&owned.ctx(), &ad("alice", &[("alice", 3)]))
+            .is_empty());
+    }
+
+    #[test]
+    fn never_carries() {
+        let owned = OwnedCtx::new("me", &["alice"], &[]);
+        let mut scheme = Direct::new();
+        assert!(!scheme.should_carry(&owned.ctx(), &bundle_from("alice", 1)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Epidemic routing [Vahdat & Becker 2000]: "a simple routing scheme
+//! that achieves effectiveness through gratuitous replication and
+//! delivery of messages upon node encounters" (paper §III-B).
+
+use crate::message::Bundle;
+use crate::routing::{RoutingContext, RoutingScheme};
+use sos_crypto::UserId;
+use sos_net::Advertisement;
+
+/// Pull everything newer than what we hold; carry everything.
+#[derive(Clone, Debug, Default)]
+pub struct Epidemic;
+
+impl Epidemic {
+    /// Creates the scheme.
+    pub fn new() -> Epidemic {
+        Epidemic
+    }
+}
+
+impl RoutingScheme for Epidemic {
+    fn name(&self) -> &'static str {
+        "epidemic"
+    }
+
+    fn interests(&mut self, ctx: &RoutingContext<'_>, ad: &Advertisement) -> Vec<UserId> {
+        // Everyone with news, except our own messages (we already have
+        // them all, by construction).
+        ad.users_with_news(ctx.summary)
+            .into_iter()
+            .filter(|u| u != ctx.me)
+            .collect()
+    }
+
+    fn should_carry(&mut self, _ctx: &RoutingContext<'_>, _bundle: &Bundle) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::{ad, bundle_from, OwnedCtx};
+
+    #[test]
+    fn pulls_all_news() {
+        let owned = OwnedCtx::new("me", &[], &[("alice", 2)]);
+        let mut scheme = Epidemic::new();
+        let interests = scheme.interests(
+            &owned.ctx(),
+            &ad("peer", &[("alice", 5), ("bob", 1), ("me", 9)]),
+        );
+        // alice has news (5 > 2), bob is unknown (news), own id skipped.
+        assert_eq!(interests.len(), 2);
+        assert!(!interests.contains(&owned.me));
+    }
+
+    #[test]
+    fn ignores_stale_advertisements() {
+        let owned = OwnedCtx::new("me", &[], &[("alice", 5)]);
+        let mut scheme = Epidemic::new();
+        assert!(scheme
+            .interests(&owned.ctx(), &ad("peer", &[("alice", 5)]))
+            .is_empty());
+    }
+
+    #[test]
+    fn carries_everything() {
+        let owned = OwnedCtx::new("me", &[], &[]);
+        let mut scheme = Epidemic::new();
+        assert!(scheme.should_carry(&owned.ctx(), &bundle_from("stranger", 1)));
+    }
+}

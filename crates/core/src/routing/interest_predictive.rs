@@ -1,0 +1,147 @@
+//! Interest-predictive routing: an extension scheme demonstrating the
+//! modular routing manager (paper §III-B invites researchers to add
+//! schemes).
+//!
+//! Interest-based routing only lets subscribers carry an author's
+//! messages. This scheme additionally lets a node *opportunistically
+//! cache* authors that are observably in demand around it: every time a
+//! peer requests an author from us, the author's local demand score
+//! rises; while the score is above a threshold we pull and carry that
+//! author's messages even without a subscription. Demand decays
+//! exponentially, so caches evaporate when interest moves on.
+
+use crate::message::Bundle;
+use crate::routing::{RoutingContext, RoutingScheme};
+use sos_crypto::UserId;
+use sos_net::Advertisement;
+use sos_sim::SimTime;
+use std::collections::HashMap;
+
+/// IB plus demand-driven opportunistic caching.
+#[derive(Clone, Debug)]
+pub struct InterestPredictive {
+    /// Demand score per author with its last-update time.
+    demand: HashMap<UserId, (f64, SimTime)>,
+    /// Score added per observed request.
+    boost: f64,
+    /// Exponential half-life of demand, in hours.
+    half_life_hours: f64,
+    /// Carry threshold.
+    threshold: f64,
+}
+
+impl InterestPredictive {
+    /// Creates the scheme with default parameters (boost 1.0, half-life
+    /// 12 h, threshold 0.5).
+    pub fn new() -> InterestPredictive {
+        InterestPredictive {
+            demand: HashMap::new(),
+            boost: 1.0,
+            half_life_hours: 12.0,
+            threshold: 0.5,
+        }
+    }
+
+    fn decayed_score(&self, author: &UserId, now: SimTime) -> f64 {
+        match self.demand.get(author) {
+            None => 0.0,
+            Some((score, at)) => {
+                let dt_h = now.since(*at).as_hours_f64();
+                score * 0.5f64.powf(dt_h / self.half_life_hours)
+            }
+        }
+    }
+
+    /// Current (decayed) demand score for an author.
+    pub fn demand_for(&self, author: &UserId, now: SimTime) -> f64 {
+        self.decayed_score(author, now)
+    }
+}
+
+impl Default for InterestPredictive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingScheme for InterestPredictive {
+    fn name(&self) -> &'static str {
+        "interest-predictive"
+    }
+
+    fn interests(&mut self, ctx: &RoutingContext<'_>, ad: &Advertisement) -> Vec<UserId> {
+        ad.users_with_news(ctx.summary)
+            .into_iter()
+            .filter(|u| {
+                u != ctx.me
+                    && (ctx.subscriptions.contains(u)
+                        || self.decayed_score(u, ctx.now) >= self.threshold)
+            })
+            .collect()
+    }
+
+    fn should_carry(&mut self, ctx: &RoutingContext<'_>, bundle: &Bundle) -> bool {
+        let author = &bundle.message.id.author;
+        ctx.subscriptions.contains(author)
+            || self.decayed_score(author, ctx.now) >= self.threshold
+    }
+
+    fn on_peer_request(&mut self, _peer_user: &UserId, author: &UserId, now: SimTime) {
+        let current = self.decayed_score(author, now);
+        self.demand.insert(*author, (current + self.boost, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::{ad, bundle_from, OwnedCtx};
+    use sos_sim::SimDuration;
+
+    fn uid(s: &str) -> UserId {
+        UserId::from_str_padded(s)
+    }
+
+    #[test]
+    fn behaves_like_ib_without_demand() {
+        let owned = OwnedCtx::new("me", &["alice"], &[]);
+        let mut scheme = InterestPredictive::new();
+        let got = scheme.interests(&owned.ctx(), &ad("peer", &[("alice", 1), ("bob", 1)]));
+        assert_eq!(got, vec![uid("alice")]);
+        assert!(!scheme.should_carry(&owned.ctx(), &bundle_from("bob", 1)));
+    }
+
+    #[test]
+    fn demand_enables_caching() {
+        let owned = OwnedCtx::new("me", &[], &[]);
+        let mut scheme = InterestPredictive::new();
+        scheme.on_peer_request(&uid("carol"), &uid("bob"), SimTime::ZERO);
+        assert!(scheme.should_carry(&owned.ctx(), &bundle_from("bob", 1)));
+        let got = scheme.interests(&owned.ctx(), &ad("peer", &[("bob", 3)]));
+        assert_eq!(got, vec![uid("bob")]);
+    }
+
+    #[test]
+    fn demand_decays() {
+        let mut scheme = InterestPredictive::new();
+        scheme.on_peer_request(&uid("carol"), &uid("bob"), SimTime::ZERO);
+        let soon = SimTime::ZERO + SimDuration::from_hours(1);
+        let much_later = SimTime::ZERO + SimDuration::from_hours(120);
+        assert!(scheme.demand_for(&uid("bob"), soon) > 0.9);
+        assert!(scheme.demand_for(&uid("bob"), much_later) < 0.01);
+        // After decay the scheme stops carrying.
+        let owned = OwnedCtx::new("me", &[], &[]);
+        let mut owned = owned;
+        owned.now = much_later;
+        assert!(!scheme.should_carry(&owned.ctx(), &bundle_from("bob", 1)));
+    }
+
+    #[test]
+    fn repeated_requests_accumulate() {
+        let mut scheme = InterestPredictive::new();
+        for _ in 0..3 {
+            scheme.on_peer_request(&uid("x"), &uid("bob"), SimTime::ZERO);
+        }
+        assert!(scheme.demand_for(&uid("bob"), SimTime::ZERO) > 2.9);
+    }
+}

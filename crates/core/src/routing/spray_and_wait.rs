@@ -1,0 +1,141 @@
+//! Binary Spray-and-Wait [Spyropoulos et al. 2005], adapted to the
+//! pull-based SOS dissemination model, as an extension demonstrating the
+//! modular routing manager.
+//!
+//! Each authored bundle starts with a copy budget `L`. When a peer pulls
+//! a copy, the serving node hands over half its remaining budget
+//! (binary spray). A node whose copy budget has dropped to 1 enters the
+//! *wait* phase: it stops advertising the bundle to non-subscribers and
+//! only delivers it when a subscriber pulls directly.
+
+use crate::message::Bundle;
+use crate::routing::{RoutingContext, RoutingScheme};
+use sos_crypto::UserId;
+use sos_net::Advertisement;
+
+/// Binary spray-and-wait with budget `L`.
+#[derive(Clone, Debug)]
+pub struct SprayAndWait {
+    initial_budget: u32,
+}
+
+impl SprayAndWait {
+    /// Creates the scheme with an initial copy budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_budget` is zero.
+    pub fn new(initial_budget: u32) -> SprayAndWait {
+        assert!(initial_budget > 0, "budget must be positive");
+        SprayAndWait { initial_budget }
+    }
+
+    /// The configured initial budget.
+    pub fn budget(&self) -> u32 {
+        self.initial_budget
+    }
+}
+
+impl RoutingScheme for SprayAndWait {
+    fn name(&self) -> &'static str {
+        "spray-and-wait"
+    }
+
+    fn interests(&mut self, ctx: &RoutingContext<'_>, ad: &Advertisement) -> Vec<UserId> {
+        // Pull like epidemic: the advertiser only advertises bundles it
+        // is still allowed to spray (see should_advertise), plus anything
+        // we subscribe to.
+        ad.users_with_news(ctx.summary)
+            .into_iter()
+            .filter(|u| u != ctx.me)
+            .collect()
+    }
+
+    fn should_carry(&mut self, _ctx: &RoutingContext<'_>, _bundle: &Bundle) -> bool {
+        true
+    }
+
+    fn initial_copies(&self) -> Option<u32> {
+        Some(self.initial_budget)
+    }
+
+    fn on_serve(&mut self, bundle: &mut Bundle) -> Option<u32> {
+        match bundle.copies {
+            Some(c) if c > 1 => {
+                let give = c / 2;
+                bundle.copies = Some(c - give);
+                Some(give)
+            }
+            Some(_) => Some(1), // wait phase: receiver gets a terminal copy
+            None => {
+                // Bundle authored under a different scheme: adopt the
+                // configured budget on first serve, then spray half.
+                let c = self.initial_budget.max(2);
+                let give = c / 2;
+                bundle.copies = Some(c - give);
+                Some(give)
+            }
+        }
+    }
+
+    fn should_advertise(&self, ctx: &RoutingContext<'_>, bundle: &Bundle) -> bool {
+        // Always advertise own and subscribed-to content; otherwise only
+        // while spray budget remains.
+        if &bundle.message.id.author == ctx.me
+            || ctx.subscriptions.contains(&bundle.message.id.author)
+        {
+            return true;
+        }
+        bundle.copies.map_or(true, |c| c > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::{bundle_from, OwnedCtx};
+
+    #[test]
+    fn binary_spray_halves_budget() {
+        let mut scheme = SprayAndWait::new(8);
+        let mut bundle = bundle_from("alice", 1);
+        bundle.copies = Some(8);
+        let given = scheme.on_serve(&mut bundle).unwrap();
+        assert_eq!(given, 4);
+        assert_eq!(bundle.copies, Some(4));
+        let given = scheme.on_serve(&mut bundle).unwrap();
+        assert_eq!(given, 2);
+        assert_eq!(bundle.copies, Some(2));
+        let given = scheme.on_serve(&mut bundle).unwrap();
+        assert_eq!(given, 1);
+        assert_eq!(bundle.copies, Some(1));
+        // Wait phase: budget stays at 1, receivers get terminal copies.
+        let given = scheme.on_serve(&mut bundle).unwrap();
+        assert_eq!(given, 1);
+        assert_eq!(bundle.copies, Some(1));
+    }
+
+    #[test]
+    fn wait_phase_stops_advertising_to_strangers() {
+        let scheme = SprayAndWait::new(8);
+        let owned = OwnedCtx::new("me", &["alice"], &[]);
+        let mut exhausted = bundle_from("bob", 1);
+        exhausted.copies = Some(1);
+        assert!(!scheme.should_advertise(&owned.ctx(), &exhausted));
+        // Subscribed content is always advertised (delivery, not spray).
+        let mut subscribed = bundle_from("alice", 1);
+        subscribed.copies = Some(1);
+        assert!(scheme.should_advertise(&owned.ctx(), &subscribed));
+    }
+
+    #[test]
+    fn initial_copies_exposed() {
+        assert_eq!(SprayAndWait::new(16).initial_copies(), Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        SprayAndWait::new(0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The local message store: verified bundles indexed by author and
+//! number, with the summary dictionary that feeds advertisements.
+
+use crate::message::{Bundle, MessageId};
+use sos_crypto::UserId;
+use std::collections::BTreeMap;
+
+/// Outcome of a store insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The bundle was new and stored.
+    New,
+    /// A copy was already held (the incoming copy is dropped; the stored
+    /// copy keeps its original hop count, which is never larger).
+    Duplicate,
+}
+
+/// The per-device store of verified bundles.
+///
+/// Only *verified* bundles belong here — the message manager rejects
+/// unverifiable bundles before insertion, so everything the store
+/// advertises is authentic.
+#[derive(Clone, Debug, Default)]
+pub struct MessageStore {
+    by_author: BTreeMap<UserId, BTreeMap<u64, Bundle>>,
+}
+
+impl MessageStore {
+    /// Creates an empty store.
+    pub fn new() -> MessageStore {
+        MessageStore::default()
+    }
+
+    /// Inserts a bundle, deduplicating by [`MessageId`].
+    pub fn insert(&mut self, bundle: Bundle) -> InsertOutcome {
+        let id = bundle.message.id;
+        let per_author = self.by_author.entry(id.author).or_default();
+        if per_author.contains_key(&id.number) {
+            InsertOutcome::Duplicate
+        } else {
+            per_author.insert(id.number, bundle);
+            InsertOutcome::New
+        }
+    }
+
+    /// True if a message with this id is held.
+    pub fn contains(&self, id: &MessageId) -> bool {
+        self.by_author
+            .get(&id.author)
+            .is_some_and(|m| m.contains_key(&id.number))
+    }
+
+    /// The stored bundle for `id`.
+    pub fn get(&self, id: &MessageId) -> Option<&Bundle> {
+        self.by_author.get(&id.author)?.get(&id.number)
+    }
+
+    /// Mutable access (used to decrement spray-and-wait budgets).
+    pub fn get_mut(&mut self, id: &MessageId) -> Option<&mut Bundle> {
+        self.by_author.get_mut(&id.author)?.get_mut(&id.number)
+    }
+
+    /// The highest message number held for `author` (0 if none).
+    pub fn latest_for(&self, author: &UserId) -> u64 {
+        self.by_author
+            .get(author)
+            .and_then(|m| m.keys().next_back().copied())
+            .unwrap_or(0)
+    }
+
+    /// The advertisement dictionary: `author → latest number held`,
+    /// filtered by `advertise` (routing schemes may hide exhausted
+    /// spray-and-wait bundles, for example).
+    pub fn summary_filtered<F>(&self, mut advertise: F) -> BTreeMap<UserId, u64>
+    where
+        F: FnMut(&Bundle) -> bool,
+    {
+        let mut out = BTreeMap::new();
+        for (author, msgs) in &self.by_author {
+            let latest = msgs
+                .values()
+                .filter(|b| advertise(b))
+                .map(|b| b.message.id.number)
+                .max();
+            if let Some(latest) = latest {
+                out.insert(*author, latest);
+            }
+        }
+        out
+    }
+
+    /// The unfiltered advertisement dictionary.
+    pub fn summary(&self) -> BTreeMap<UserId, u64> {
+        self.summary_filtered(|_| true)
+    }
+
+    /// All bundles from `author` with number strictly greater than
+    /// `after`, in ascending order.
+    pub fn bundles_after(&self, author: &UserId, after: u64) -> Vec<&Bundle> {
+        self.by_author
+            .get(author)
+            .map(|m| m.range(after + 1..).map(|(_, b)| b).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of stored bundles.
+    pub fn len(&self) -> usize {
+        self.by_author.values().map(|m| m.len()).sum()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_author.is_empty()
+    }
+
+    /// Iterates over all stored bundles.
+    pub fn iter(&self) -> impl Iterator<Item = &Bundle> {
+        self.by_author.values().flat_map(|m| m.values())
+    }
+
+    /// Authors with at least one stored message.
+    pub fn authors(&self) -> impl Iterator<Item = &UserId> {
+        self.by_author.keys()
+    }
+
+    /// Evicts bundles whose message was created before `cutoff`, except
+    /// those `keep` protects (e.g. the device's own messages). Returns
+    /// the number evicted.
+    ///
+    /// DTN stores are finite; expired gossip must age out or a
+    /// long-running device fills its flash with other people's history.
+    pub fn evict_older_than<F>(&mut self, cutoff: sos_sim::SimTime, mut keep: F) -> usize
+    where
+        F: FnMut(&Bundle) -> bool,
+    {
+        let mut evicted = 0;
+        for msgs in self.by_author.values_mut() {
+            let before = msgs.len();
+            msgs.retain(|_, b| b.message.created_at >= cutoff || keep(b));
+            evicted += before - msgs.len();
+        }
+        self.by_author.retain(|_, msgs| !msgs.is_empty());
+        evicted
+    }
+
+    /// Evicts oldest-created bundles (protected ones excepted) until at
+    /// most `max` remain. Returns the number evicted.
+    pub fn evict_to_capacity<F>(&mut self, max: usize, mut keep: F) -> usize
+    where
+        F: FnMut(&Bundle) -> bool,
+    {
+        let len = self.len();
+        if len <= max {
+            return 0;
+        }
+        // Collect evictable ids ordered by creation time (oldest first).
+        let mut candidates: Vec<(sos_sim::SimTime, MessageId)> = self
+            .iter()
+            .filter(|b| !keep(b))
+            .map(|b| (b.message.created_at, b.message.id))
+            .collect();
+        candidates.sort();
+        let mut evicted = 0;
+        for (_, id) in candidates {
+            if self.len() <= max {
+                break;
+            }
+            if let Some(msgs) = self.by_author.get_mut(&id.author) {
+                if msgs.remove(&id.number).is_some() {
+                    evicted += 1;
+                }
+                if msgs.is_empty() {
+                    self.by_author.remove(&id.author);
+                }
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MessageKind, SosMessage};
+    use sos_crypto::ca::CertificateAuthority;
+    use sos_crypto::ed25519::SigningKey;
+    use sos_crypto::x25519::AgreementKey;
+    use sos_sim::SimTime;
+
+    fn bundle(author: &str, number: u64) -> Bundle {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let uid = UserId::from_str_padded(author);
+        let cert = ca.issue(uid, author, sk.verifying_key(), *ak.public(), 0);
+        let msg = SosMessage::create(
+            &sk,
+            uid,
+            number,
+            SimTime::from_secs(number),
+            MessageKind::Post,
+            format!("msg {number}").into_bytes(),
+        );
+        Bundle::new(msg, cert)
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut store = MessageStore::new();
+        assert_eq!(store.insert(bundle("alice", 1)), InsertOutcome::New);
+        assert_eq!(store.insert(bundle("alice", 1)), InsertOutcome::Duplicate);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn latest_tracks_max() {
+        let mut store = MessageStore::new();
+        store.insert(bundle("alice", 2));
+        store.insert(bundle("alice", 5));
+        store.insert(bundle("alice", 3));
+        assert_eq!(store.latest_for(&UserId::from_str_padded("alice")), 5);
+        assert_eq!(store.latest_for(&UserId::from_str_padded("bob")), 0);
+    }
+
+    #[test]
+    fn summary_covers_all_authors() {
+        let mut store = MessageStore::new();
+        store.insert(bundle("alice", 3));
+        store.insert(bundle("bob", 7));
+        let summary = store.summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[&UserId::from_str_padded("alice")], 3);
+        assert_eq!(summary[&UserId::from_str_padded("bob")], 7);
+    }
+
+    #[test]
+    fn summary_filter_hides_bundles() {
+        let mut store = MessageStore::new();
+        let mut b = bundle("alice", 1);
+        b.copies = Some(1);
+        store.insert(b);
+        let summary = store.summary_filtered(|b| b.copies.map_or(true, |c| c > 1));
+        assert!(summary.is_empty());
+    }
+
+    #[test]
+    fn bundles_after_is_exclusive_and_ordered() {
+        let mut store = MessageStore::new();
+        for n in [1, 2, 4, 7] {
+            store.insert(bundle("alice", n));
+        }
+        let got: Vec<u64> = store
+            .bundles_after(&UserId::from_str_padded("alice"), 2)
+            .iter()
+            .map(|b| b.message.id.number)
+            .collect();
+        assert_eq!(got, vec![4, 7]);
+    }
+
+    #[test]
+    fn ttl_eviction_spares_protected_bundles() {
+        let mut store = MessageStore::new();
+        for n in 1..=5 {
+            store.insert(bundle("alice", n)); // created_at = n seconds
+        }
+        store.insert(bundle("bob", 1));
+        let me = UserId::from_str_padded("bob");
+        let evicted = store.evict_older_than(SimTime::from_secs(4), |b| {
+            b.message.id.author == me
+        });
+        // alice 1,2,3 evicted; alice 4,5 kept (fresh); bob 1 kept (mine).
+        assert_eq!(evicted, 3);
+        assert_eq!(store.len(), 3);
+        assert!(store.contains(&crate::message::MessageId {
+            author: me,
+            number: 1
+        }));
+        assert_eq!(store.latest_for(&UserId::from_str_padded("alice")), 5);
+    }
+
+    #[test]
+    fn capacity_eviction_drops_oldest_first() {
+        let mut store = MessageStore::new();
+        for n in 1..=10 {
+            store.insert(bundle("alice", n));
+        }
+        let evicted = store.evict_to_capacity(4, |_| false);
+        assert_eq!(evicted, 6);
+        assert_eq!(store.len(), 4);
+        // The newest four survive.
+        let remaining: Vec<u64> = store.iter().map(|b| b.message.id.number).collect();
+        assert_eq!(remaining, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn capacity_eviction_noop_under_limit() {
+        let mut store = MessageStore::new();
+        store.insert(bundle("alice", 1));
+        assert_eq!(store.evict_to_capacity(10, |_| false), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_respects_protection() {
+        let mut store = MessageStore::new();
+        for n in 1..=6 {
+            store.insert(bundle("alice", n));
+        }
+        // Everything protected: nothing can be evicted even over limit.
+        assert_eq!(store.evict_to_capacity(2, |_| true), 0);
+        assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn get_mut_allows_budget_decrement() {
+        let mut store = MessageStore::new();
+        let mut b = bundle("alice", 1);
+        b.copies = Some(4);
+        let id = b.message.id;
+        store.insert(b);
+        store.get_mut(&id).unwrap().copies = Some(2);
+        assert_eq!(store.get(&id).unwrap().copies, Some(2));
+    }
+}

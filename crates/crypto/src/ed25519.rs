@@ -1,0 +1,542 @@
+//! Ed25519 signatures (RFC 8032), built on [`crate::field25519`] and
+//! [`crate::scalar`].
+//!
+//! Implements key generation from a 32-byte seed, deterministic signing,
+//! and verification with the cofactorless equation `[S]B = R + [k]A`.
+//! Not constant-time; see the crate-level side-channel note.
+
+use crate::field25519::{sqrt_m1, Fe};
+use crate::scalar::Scalar;
+use crate::sha2::Sha512;
+
+/// Little-endian bytes of the Edwards curve constant
+/// d = −121665/121666 mod p.
+const D_BYTES: [u8; 32] = [
+    0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
+    0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
+    0x03, 0x52,
+];
+
+/// x-coordinate of the base point B.
+const BX_BYTES: [u8; 32] = [
+    0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9, 0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7, 0x2c,
+    0x69, 0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0, 0xfe, 0x53, 0x6e, 0xcd, 0xd3, 0x36,
+    0x69, 0x21,
+];
+
+/// y-coordinate of the base point B (4/5 mod p).
+const BY_BYTES: [u8; 32] = [
+    0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66,
+];
+
+fn d() -> Fe {
+    Fe::from_bytes(&D_BYTES)
+}
+
+fn d2() -> Fe {
+    let d = d();
+    d.add(&d)
+}
+
+/// A point on edwards25519 in extended homogeneous coordinates
+/// (X : Y : Z : T) with x = X/Z, y = Y/Z, x·y = T/Z.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl EdwardsPoint {
+    /// The neutral element (0, 1).
+    pub fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The base point B of RFC 8032.
+    pub fn basepoint() -> EdwardsPoint {
+        let x = Fe::from_bytes(&BX_BYTES);
+        let y = Fe::from_bytes(&BY_BYTES);
+        EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(&y),
+        }
+    }
+
+    /// Unified point addition (complete for a = −1, d non-square).
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(&d2()).mul(&other.t);
+        let dd = self.z.mul(&other.z).mul_small(2);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        let h = a.add(&b);
+        let e = h.sub(&self.x.add(&self.y).square());
+        let g = a.sub(&b);
+        let f = c.add(&g);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Scalar multiplication by double-and-add over the 256-bit scalar.
+    pub fn mul_scalar(&self, scalar: &Scalar) -> EdwardsPoint {
+        let bytes = scalar.to_bytes();
+        self.mul_bytes(&bytes)
+    }
+
+    /// Scalar multiplication where the scalar is raw little-endian bytes
+    /// (used with clamped secret scalars, which may exceed ℓ).
+    pub fn mul_bytes(&self, bytes: &[u8; 32]) -> EdwardsPoint {
+        let mut q = EdwardsPoint::identity();
+        for bit in (0..256).rev() {
+            q = q.double();
+            if (bytes[bit / 8] >> (bit % 8)) & 1 == 1 {
+                q = q.add(self);
+            }
+        }
+        q
+    }
+
+    /// Compresses to the 32-byte encoding: y with the sign of x in the
+    /// top bit.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding, returning `None` if the bytes do
+    /// not name a curve point (RFC 8032 §5.1.3).
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let y = Fe::from_bytes(bytes);
+        let sign = (bytes[31] >> 7) & 1;
+        let y2 = y.square();
+        let u = y2.sub(&Fe::ONE);
+        let v = y2.mul(&d()).add(&Fe::ONE);
+        // Candidate root x = (u/v)^((p+3)/8) = u v^3 (u v^7)^((p-5)/8);
+        // equivalently (u v) * (u v^3 ... ); we use x = (u/v)^((p+3)/8)
+        // computed directly via an inversion, which is simpler and the
+        // performance is irrelevant here.
+        let x_candidate = u.mul(&v.invert()).pow_p38();
+        let vx2 = v.mul(&x_candidate.square());
+        let x = if vx2 == u {
+            x_candidate
+        } else if vx2 == u.neg() {
+            x_candidate.mul(&sqrt_m1())
+        } else {
+            return None;
+        };
+        if x.is_zero() && sign == 1 {
+            return None; // "negative zero" is rejected
+        }
+        let x = if (x.is_negative() as u8) != sign { x.neg() } else { x };
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(&y),
+        })
+    }
+
+    /// True if two points are equal (projectively).
+    pub fn equals(&self, other: &EdwardsPoint) -> bool {
+        // X1 Z2 == X2 Z1 and Y1 Z2 == Y2 Z1
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+/// An Ed25519 signing key: the 32-byte seed plus its expanded parts.
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    /// Clamped secret scalar bytes a.
+    a_bytes: [u8; 32],
+    /// Deterministic-nonce prefix.
+    prefix: [u8; 32],
+    /// Compressed public key A = [a]B.
+    public: [u8; 32],
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(pub={})", crate::hex::encode(&self.public))
+    }
+}
+
+fn clamp(mut bytes: [u8; 32]) -> [u8; 32] {
+    bytes[0] &= 248;
+    bytes[31] &= 127;
+    bytes[31] |= 64;
+    bytes
+}
+
+impl SigningKey {
+    /// Derives the key pair from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: [u8; 32]) -> SigningKey {
+        let h = crate::sha2::sha512(&seed);
+        let mut a_bytes = [0u8; 32];
+        a_bytes.copy_from_slice(&h[..32]);
+        let a_bytes = clamp(a_bytes);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public = EdwardsPoint::basepoint().mul_bytes(&a_bytes).compress();
+        SigningKey {
+            seed,
+            a_bytes,
+            prefix,
+            public,
+        }
+    }
+
+    /// Generates a key pair from a random number generator.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SigningKey::from_seed(seed)
+    }
+
+    /// The seed this key was derived from.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The compressed public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey(self.public)
+    }
+
+    /// Signs `message`, producing a 64-byte signature (RFC 8032 §5.1.6).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = Scalar::from_bytes_mod_order(&h.finalize());
+        let r_point = EdwardsPoint::basepoint().mul_scalar(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&self.public);
+        h.update(message);
+        let k = Scalar::from_bytes_mod_order(&h.finalize());
+
+        // a may exceed l after clamping, so reduce it for the muladd.
+        let a = Scalar::from_bytes_mod_order(&self.a_bytes);
+        let s = k.muladd(&a, &r);
+
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_point);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+/// A compressed Ed25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+impl serde::Serialize for VerifyingKey {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.0.to_vec().serialize(s)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for VerifyingKey {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<u8> = serde::Deserialize::deserialize(d)?;
+        if v.len() != 32 {
+            return Err(serde::de::Error::invalid_length(v.len(), &"32 bytes"));
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&v);
+        Ok(VerifyingKey(out))
+    }
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({})", crate::hex::encode(&self.0))
+    }
+}
+
+impl VerifyingKey {
+    /// The raw 32-byte encoding.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Verifies `signature` over `message` (RFC 8032 §5.1.7).
+    ///
+    /// Checks that `s` is canonical and that `[s]B = R + [k]A` using the
+    /// cofactorless equation.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let sig = &signature.0;
+        let mut r_enc = [0u8; 32];
+        r_enc.copy_from_slice(&sig[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&sig[32..]);
+        let s = match Scalar::from_canonical_bytes(&s_bytes) {
+            Some(s) => s,
+            None => return false,
+        };
+        let a = match EdwardsPoint::decompress(&self.0) {
+            Some(a) => a,
+            None => return false,
+        };
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.0);
+        h.update(message);
+        let k = Scalar::from_bytes_mod_order(&h.finalize());
+
+        // R' = [s]B + [k](-A); valid iff R' encodes to sig.R
+        let sb = EdwardsPoint::basepoint().mul_scalar(&s);
+        let ka = a.neg().mul_scalar(&k);
+        let r_prime = sb.add(&ka);
+        crate::hmac::ct_eq(&r_prime.compress(), &r_enc)
+    }
+}
+
+/// A detached 64-byte Ed25519 signature.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 64]);
+
+impl serde::Serialize for Signature {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.0.to_vec().serialize(s)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Signature {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<u8> = serde::Deserialize::deserialize(d)?;
+        Signature::from_slice(&v)
+            .ok_or_else(|| serde::de::Error::invalid_length(v.len(), &"64 bytes"))
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({})", crate::hex::encode(&self.0[..8]))
+    }
+}
+
+impl Signature {
+    /// Parses a signature from a 64-byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the slice is not exactly 64 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut sig = [0u8; 64];
+        sig.copy_from_slice(bytes);
+        Some(Signature(sig))
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 64] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn seed(s: &str) -> [u8; 32] {
+        hex::decode_array::<32>(s).unwrap()
+    }
+
+    // RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let sk = SigningKey::from_seed(seed(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            hex::encode(sk.verifying_key().as_bytes()),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            hex::encode(sig.as_bytes()),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        assert!(sk.verifying_key().verify(b"", &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 2 (one byte).
+    #[test]
+    fn rfc8032_test2() {
+        let sk = SigningKey::from_seed(seed(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            hex::encode(sk.verifying_key().as_bytes()),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let msg = [0x72u8];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            hex::encode(sig.as_bytes()),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 3 (two bytes).
+    #[test]
+    fn rfc8032_test3() {
+        let sk = SigningKey::from_seed(seed(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        assert_eq!(
+            hex::encode(sk.verifying_key().as_bytes()),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let msg = [0xaf, 0x82];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            hex::encode(sig.as_bytes()),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = SigningKey::from_seed([7u8; 32]);
+        let sig = sk.sign(b"genuine message");
+        assert!(sk.verifying_key().verify(b"genuine message", &sig));
+        assert!(!sk.verifying_key().verify(b"genuine messagf", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_seed([8u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        sig.0[0] ^= 1;
+        assert!(!sk.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_seed([9u8; 32]);
+        let sk2 = SigningKey::from_seed([10u8; 32]);
+        let sig = sk1.sign(b"msg");
+        assert!(!sk2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let sk = SigningKey::from_seed([11u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        // Force s >= l by setting a high bit pattern.
+        sig.0[63] |= 0xf0;
+        assert!(!sk.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        let b = EdwardsPoint::basepoint();
+        let enc = b.compress();
+        assert_eq!(
+            hex::encode(&enc),
+            "5866666666666666666666666666666666666666666666666666666666666666"
+        );
+        let dec = EdwardsPoint::decompress(&enc).unwrap();
+        assert!(dec.equals(&b));
+    }
+
+    #[test]
+    fn addition_consistency() {
+        let b = EdwardsPoint::basepoint();
+        // 2B via doubling and via addition must agree.
+        assert!(b.double().equals(&b.add(&b)));
+        // 3B two ways.
+        let three1 = b.double().add(&b);
+        let three2 = b.add(&b.double());
+        assert!(three1.equals(&three2));
+        // [3]B via scalar mult.
+        let three3 = b.mul_scalar(&Scalar::from_u64(3));
+        assert!(three1.equals(&three3));
+    }
+
+    #[test]
+    fn identity_behaviour() {
+        let b = EdwardsPoint::basepoint();
+        let id = EdwardsPoint::identity();
+        assert!(b.add(&id).equals(&b));
+        assert!(b.add(&b.neg()).equals(&id));
+        assert!(b.mul_scalar(&Scalar::ZERO).equals(&id));
+    }
+
+    #[test]
+    fn decompress_garbage_fails() {
+        // Roughly half of all y-coordinates are not on the curve; scan a
+        // few candidates and require at least one rejection.
+        let mut found_invalid = false;
+        for b0 in 0..=16u8 {
+            let mut candidate = [0u8; 32];
+            candidate[0] = b0;
+            candidate[1] = 0x5a;
+            if EdwardsPoint::decompress(&candidate).is_none() {
+                found_invalid = true;
+                break;
+            }
+        }
+        assert!(found_invalid, "expected some non-point encodings");
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the cryptographic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD tag failed to verify: wrong key, wrong nonce, or the
+    /// ciphertext/associated data were modified.
+    AeadTagMismatch,
+    /// The input was too short to contain the expected structure.
+    Truncated,
+    /// A hex string contained non-hex characters or had odd length.
+    InvalidHex,
+    /// A signature failed to verify.
+    BadSignature,
+    /// A public key or point encoding was invalid.
+    InvalidKey,
+    /// Key agreement produced a non-contributory (all-zero) shared secret.
+    NonContributoryAgreement,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            CryptoError::AeadTagMismatch => "aead tag mismatch",
+            CryptoError::Truncated => "input truncated",
+            CryptoError::InvalidHex => "invalid hex encoding",
+            CryptoError::BadSignature => "signature verification failed",
+            CryptoError::InvalidKey => "invalid key or point encoding",
+            CryptoError::NonContributoryAgreement => "non-contributory key agreement",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for CryptoError {}
+
+/// Errors returned by certificate parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CertError {
+    /// The certificate signature does not verify against the issuer key.
+    BadIssuerSignature,
+    /// The certificate is not yet valid or has expired at the given time.
+    OutsideValidity {
+        /// Validation time that was checked.
+        at: u64,
+        /// Start of the validity window.
+        not_before: u64,
+        /// End of the validity window.
+        not_after: u64,
+    },
+    /// The certificate serial appears on the revocation list.
+    Revoked,
+    /// The issuer of this certificate is unknown to the verifier.
+    UnknownIssuer,
+    /// The certificate encodes a user id that does not match the claimed
+    /// identity (paper §IV: the cloud cross-checks the unique
+    /// user-identifier).
+    UserIdMismatch,
+    /// The encoded certificate bytes are malformed.
+    Malformed,
+    /// A field exceeded its maximum allowed length.
+    FieldTooLong,
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadIssuerSignature => f.write_str("issuer signature invalid"),
+            CertError::OutsideValidity {
+                at,
+                not_before,
+                not_after,
+            } => write!(
+                f,
+                "certificate not valid at {at} (window {not_before}..{not_after})"
+            ),
+            CertError::Revoked => f.write_str("certificate revoked"),
+            CertError::UnknownIssuer => f.write_str("unknown issuer"),
+            CertError::UserIdMismatch => f.write_str("user id does not match certificate"),
+            CertError::Malformed => f.write_str("malformed certificate encoding"),
+            CertError::FieldTooLong => f.write_str("certificate field too long"),
+        }
+    }
+}
+
+impl Error for CertError {}

@@ -1,0 +1,74 @@
+//! Minimal hexadecimal encoding/decoding used throughout the workspace
+//! for fingerprints, test vectors and debug output.
+
+use crate::error::CryptoError;
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Decodes a hex string (whitespace tolerated) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] on non-hex characters or an odd
+/// number of digits.
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let mut nibbles: Vec<u8> = Vec::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_whitespace() {
+            continue;
+        }
+        let v = c.to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        nibbles.push(v as u8);
+    }
+    if nibbles.len() % 2 != 0 {
+        return Err(CryptoError::InvalidHex);
+    }
+    Ok(nibbles
+        .chunks(2)
+        .map(|pair| (pair[0] << 4) | pair[1])
+        .collect())
+}
+
+/// Decodes hex into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] if decoding fails or the length
+/// does not match `N`.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    if v.len() != N {
+        return Err(CryptoError::InvalidHex);
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&v);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0xab, 0xff];
+        assert_eq!(encode(&data), "0001abff");
+        assert_eq!(decode("0001abff").unwrap(), data);
+        assert_eq!(decode("00 01 AB ff").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("0g").is_err());
+        assert!(decode("abc").is_err());
+        assert!(decode_array::<3>("0102").is_err());
+    }
+}

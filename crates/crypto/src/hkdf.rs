@@ -1,0 +1,92 @@
+//! HKDF-SHA-256 (RFC 5869): extract-and-expand key derivation.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: expands a pseudorandom key into `out.len()` bytes of output
+/// keying material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` bytes of output are requested, the RFC 5869
+/// maximum.
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "hkdf output longer than 255 blocks");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut written = 0usize;
+    while written < out.len() {
+        let mut input = Vec::with_capacity(t.len() + info.len() + 1);
+        input.extend_from_slice(&t);
+        input.extend_from_slice(info);
+        input.push(counter);
+        let block = hmac_sha256(prk, &input);
+        let take = (out.len() - written).min(32);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF: extract with `salt`, then expand with `info`.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        hkdf_expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let mut okm = [0u8; 42];
+        hkdf(&[], &ikm, &[], &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let mut out = vec![0u8; len];
+            hkdf_expand(&prk, b"info", &mut out);
+            // Prefix property: shorter outputs are prefixes of longer ones.
+            let mut long = vec![0u8; 128];
+            hkdf_expand(&prk, b"info", &mut long);
+            assert_eq!(&long[..len], &out[..], "len {len}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Device key material: the per-device bundle generated at signup.
+
+use crate::ca::Validator;
+use crate::cert::{Certificate, UserId};
+use crate::ed25519::{Signature, SigningKey, VerifyingKey};
+use crate::x25519::AgreementKey;
+
+/// Everything a device holds after the one-time infrastructure step of
+/// Fig. 2a: its long-term keys, its certificate, and the CA root used to
+/// validate peers.
+#[derive(Clone, Debug)]
+pub struct DeviceIdentity {
+    user_id: UserId,
+    signing: SigningKey,
+    agreement: AgreementKey,
+    certificate: Certificate,
+    validator: Validator,
+}
+
+impl DeviceIdentity {
+    /// Assembles a device identity from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the certificate does not match the keys or user id —
+    /// that would indicate signup handed the device someone else's
+    /// certificate, which must never be silently accepted.
+    pub fn new(
+        user_id: UserId,
+        signing: SigningKey,
+        agreement: AgreementKey,
+        certificate: Certificate,
+        validator: Validator,
+    ) -> DeviceIdentity {
+        assert_eq!(certificate.subject, user_id, "certificate subject mismatch");
+        assert_eq!(
+            &certificate.ed25519_public,
+            &signing.verifying_key(),
+            "certificate signing key mismatch"
+        );
+        assert_eq!(
+            &certificate.x25519_public,
+            agreement.public(),
+            "certificate agreement key mismatch"
+        );
+        DeviceIdentity {
+            user_id,
+            signing,
+            agreement,
+            certificate,
+            validator,
+        }
+    }
+
+    /// The 10-byte unique user identifier.
+    pub fn user_id(&self) -> &UserId {
+        &self.user_id
+    }
+
+    /// The device certificate issued at signup.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// The device's Ed25519 verification key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.signing.verifying_key()
+    }
+
+    /// The device's X25519 public key.
+    pub fn agreement_public(&self) -> &[u8; 32] {
+        self.agreement.public()
+    }
+
+    /// The certificate validator (root + CRL state).
+    pub fn validator(&self) -> &Validator {
+        &self.validator
+    }
+
+    /// Mutable access to the validator, e.g. to install a fresher CRL
+    /// when the device is online.
+    pub fn validator_mut(&mut self) -> &mut Validator {
+        &mut self.validator
+    }
+
+    /// Signs bytes with the device's long-term key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.signing.sign(message)
+    }
+
+    /// Computes an X25519 shared secret with a peer public key.
+    ///
+    /// Returns `None` for a non-contributory (low-order) peer key.
+    pub fn agree(&self, peer_public: &[u8; 32]) -> Option<[u8; 32]> {
+        self.agreement.agree(peer_public)
+    }
+
+    /// Opens a sealed box addressed to this device's agreement key
+    /// (end-to-end encrypted direct messages).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::CryptoError`] from
+    /// [`crate::sealed::open`] when the box is not for this device or
+    /// was tampered with.
+    pub fn open_sealed(&self, sealed: &[u8]) -> Result<Vec<u8>, crate::error::CryptoError> {
+        crate::sealed::open(&self.agreement, sealed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+
+    fn make_identity(seed: u8, name: &str) -> (DeviceIdentity, CertificateAuthority) {
+        let mut ca = CertificateAuthority::new("Root", [0u8; 32], 0, u64::MAX);
+        let signing = SigningKey::from_seed([seed; 32]);
+        let agreement = AgreementKey::from_secret([seed.wrapping_add(100); 32]);
+        let uid = UserId::from_str_padded(name);
+        let cert = ca.issue(uid, name, signing.verifying_key(), *agreement.public(), 0);
+        let validator = Validator::new(ca.root_certificate().clone());
+        (
+            DeviceIdentity::new(uid, signing, agreement, cert, validator),
+            ca,
+        )
+    }
+
+    #[test]
+    fn identity_signs_and_verifies() {
+        let (id, _) = make_identity(1, "alice");
+        let sig = id.sign(b"hello");
+        assert!(id.verifying_key().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn identities_can_agree() {
+        let (alice, _) = make_identity(1, "alice");
+        let (bob, _) = make_identity(2, "bob");
+        let s1 = alice.agree(bob.agreement_public()).unwrap();
+        let s2 = bob.agree(alice.agreement_public()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "certificate subject mismatch")]
+    fn mismatched_certificate_panics() {
+        let (alice, ca) = make_identity(1, "alice");
+        let signing = SigningKey::from_seed([9u8; 32]);
+        let agreement = AgreementKey::from_secret([10u8; 32]);
+        // Bob tries to assemble an identity with Alice's certificate.
+        let _ = DeviceIdentity::new(
+            UserId::from_str_padded("bob"),
+            signing,
+            agreement,
+            alice.certificate().clone(),
+            Validator::new(ca.root_certificate().clone()),
+        );
+    }
+}

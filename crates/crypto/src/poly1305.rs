@@ -1,0 +1,261 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with 26-bit limbs and 64-bit intermediate products
+//! (the "donna" representation).
+
+/// Streaming Poly1305 MAC state.
+///
+/// A Poly1305 key must be used for at most one message; the AEAD
+/// construction derives a fresh key per nonce.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl std::fmt::Debug for Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poly1305").field("buf_len", &self.buf_len).finish_non_exhaustive()
+    }
+}
+
+impl Poly1305 {
+    /// Initializes the authenticator with a 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        let mut le = [0u32; 8];
+        for i in 0..8 {
+            le[i] = u32::from_le_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]);
+        }
+        // Clamp r per the RFC and split into 26-bit limbs.
+        let r = [
+            le[0] & 0x3ffffff,
+            ((le[0] >> 26) | (le[1] << 6)) & 0x3ffff03,
+            ((le[1] >> 20) | (le[2] << 12)) & 0x3ffc0ff,
+            ((le[2] >> 14) | (le[3] << 18)) & 0x3f03fff,
+            (le[3] >> 8) & 0x00fffff,
+        ];
+        Poly1305 {
+            r,
+            s: [le[4], le[5], le[6], le[7]],
+            h: [0; 5],
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        self.h[0] += t0 & 0x3ffffff;
+        self.h[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+        self.h[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+        self.h[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+        self.h[4] += (t3 >> 8) | hibit;
+
+        let [r0, r1, r2, r3, r4] = self.r.map(|x| x as u64);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.h.map(|x| x as u64);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c: u64;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d0 &= 0x3ffffff;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= 0x3ffffff;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= 0x3ffffff;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= 0x3ffffff;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= 0x3ffffff;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= 0x3ffffff;
+        d1 += c;
+
+        self.h = [d0 as u32, d1 as u32, d2 as u32, d3 as u32, d4 as u32];
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Completes the MAC and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, true);
+        }
+        // Full carry.
+        let mut h = self.h.map(|x| x as u64);
+        let mut c;
+        c = h[1] >> 26;
+        h[1] &= 0x3ffffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ffffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ffffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ffffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ffffff;
+        h[1] += c;
+
+        // Compute h + -p and select based on overflow.
+        let mut g = [0u64; 5];
+        let mut carry = 5u64;
+        for i in 0..4 {
+            g[i] = h[i] + carry;
+            carry = g[i] >> 26;
+            g[i] &= 0x3ffffff;
+        }
+        g[4] = (h[4] + carry).wrapping_sub(1 << 26);
+        let take_g = (g[4] >> 63) == 0; // no borrow: h >= p, use g
+        let hh = if take_g { g } else { h };
+
+        // Serialize to 128 bits and add s (mod 2^128).
+        let mut acc = [0u32; 4];
+        acc[0] = (hh[0] | (hh[1] << 26)) as u32;
+        acc[1] = ((hh[1] >> 6) | (hh[2] << 20)) as u32;
+        acc[2] = ((hh[2] >> 12) | (hh[3] << 14)) as u32;
+        acc[3] = ((hh[3] >> 18) | (hh[4] << 8)) as u32;
+
+        let mut tag = [0u8; 16];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let v = acc[i] as u64 + self.s[i] as u64 + carry;
+            tag[4 * i..4 * i + 4].copy_from_slice(&(v as u32).to_le_bytes());
+            carry = v >> 32;
+        }
+        tag
+    }
+}
+
+/// One-shot Poly1305 MAC.
+pub fn poly1305(key: &[u8; 32], data: &[u8]) -> [u8; 16] {
+    let mut mac = Poly1305::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag() {
+        let key = hex::decode_array::<32>(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex::encode(&poly1305(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    // RFC 8439 §A.3 #1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_msg() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        assert_eq!(hex::encode(&poly1305(&key, &msg)), "00000000000000000000000000000000");
+    }
+
+    // Hand-derived edge case: r = 1, s = 0. Blocks (with the 2^128 pad bit)
+    // sum to (2^128+2) + (2^129-1) + (2^128+0x11) = 2^130 + 18 ≡ 23 mod p,
+    // so the tag is 23 = 0x17 in the low 128 bits. Exercises the final
+    // modular reduction path.
+    #[test]
+    fn edge_case_r_one() {
+        let mut key = [0u8; 32];
+        key[0] = 1;
+        let msg = hex::decode(
+            "02000000000000000000000000000000\
+             ffffffffffffffffffffffffffffffff\
+             11000000000000000000000000000000",
+        )
+        .unwrap();
+        assert_eq!(
+            hex::encode(&poly1305(&key, &msg)),
+            "17000000000000000000000000000000"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = crate::sha2::sha256(b"poly-key");
+        let key2 = crate::sha2::sha256(b"poly-key-2");
+        let mut full_key = [0u8; 32];
+        full_key[..16].copy_from_slice(&key[..16]);
+        full_key[16..].copy_from_slice(&key2[..16]);
+        let data: Vec<u8> = (0..777u32).map(|i| (i * 7 % 256) as u8).collect();
+        for chunk in [1usize, 15, 16, 17, 100] {
+            let mut mac = Poly1305::new(&full_key);
+            for c in data.chunks(chunk) {
+                mac.update(c);
+            }
+            assert_eq!(mac.finalize(), poly1305(&full_key, &data), "chunk {chunk}");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Distributed CA functionality: community endorsement of certificates.
+//!
+//! The paper (§IV) points at "distributing CA functionality amongst
+//! nodes [Kong et al. 2001]" as the way to drop even the one-time
+//! infrastructure requirement. This module implements that extension: a
+//! **community certificate** is an ordinary [`Certificate`] that is
+//! *self-signed* by its subject and accompanied by endorsements from
+//! other community members; a verifier with a trust anchor set accepts
+//! it when at least `k` distinct anchored members endorsed it.
+//!
+//! This trades the single root's crisp revocation story for
+//! infrastructure-free bootstrap — exactly the trade-off the cited work
+//! explores. It composes with the standard [`crate::ca::Validator`]: a
+//! device can accept either a root-signed certificate or a k-endorsed
+//! community certificate.
+
+use crate::cert::{Certificate, UserId};
+use crate::ed25519::{Signature, SigningKey, VerifyingKey};
+use crate::error::CertError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Domain separator for endorsement signatures.
+const ENDORSE_CONTEXT: &[u8] = b"sos-community-endorse-v1";
+
+/// One member's endorsement of a certificate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endorsement {
+    /// The endorsing member.
+    pub endorser: UserId,
+    /// Signature over `ENDORSE_CONTEXT || cert.tbs_bytes()` with the
+    /// endorser's key.
+    pub signature: Signature,
+}
+
+/// A self-signed certificate plus community endorsements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommunityCertificate {
+    /// The subject's self-signed certificate (issuer = subject).
+    pub certificate: Certificate,
+    /// Endorsements collected from community members.
+    pub endorsements: Vec<Endorsement>,
+}
+
+impl CommunityCertificate {
+    /// Creates a self-signed certificate for `subject` and wraps it with
+    /// an empty endorsement set.
+    pub fn self_signed(
+        signing: &SigningKey,
+        subject: UserId,
+        display_name: &str,
+        x25519_public: [u8; 32],
+        not_before: u64,
+        not_after: u64,
+    ) -> CommunityCertificate {
+        let mut certificate = Certificate {
+            serial: 0,
+            subject,
+            display_name: display_name.to_string(),
+            ed25519_public: signing.verifying_key(),
+            x25519_public,
+            issuer: format!("self:{}", subject.display()),
+            not_before,
+            not_after,
+            signature: Signature([0u8; 64]),
+        };
+        certificate.signature = signing.sign(&certificate.tbs_bytes());
+        CommunityCertificate {
+            certificate,
+            endorsements: Vec::new(),
+        }
+    }
+
+    /// Produces an endorsement of this certificate by `endorser`.
+    pub fn endorse(&self, endorser_id: UserId, endorser_key: &SigningKey) -> Endorsement {
+        let mut signed = Vec::with_capacity(64);
+        signed.extend_from_slice(ENDORSE_CONTEXT);
+        signed.extend_from_slice(&self.certificate.tbs_bytes());
+        Endorsement {
+            endorser: endorser_id,
+            signature: endorser_key.sign(&signed),
+        }
+    }
+
+    /// Attaches an endorsement (deduplicating by endorser).
+    pub fn add_endorsement(&mut self, endorsement: Endorsement) {
+        if !self
+            .endorsements
+            .iter()
+            .any(|e| e.endorser == endorsement.endorser)
+        {
+            self.endorsements.push(endorsement);
+        }
+    }
+}
+
+/// Verifier-side policy: which member keys are trusted to endorse, and
+/// how many endorsements a certificate needs.
+#[derive(Clone, Debug)]
+pub struct QuorumValidator {
+    anchors: BTreeMap<UserId, VerifyingKey>,
+    threshold: usize,
+    distrusted: BTreeSet<UserId>,
+}
+
+impl QuorumValidator {
+    /// Creates a validator requiring `threshold` endorsements from the
+    /// given anchor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(anchors: BTreeMap<UserId, VerifyingKey>, threshold: usize) -> QuorumValidator {
+        assert!(threshold > 0, "threshold must be at least 1");
+        QuorumValidator {
+            anchors,
+            threshold,
+            distrusted: BTreeSet::new(),
+        }
+    }
+
+    /// The endorsement threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Adds a trust anchor (e.g. after meeting a member in person).
+    pub fn add_anchor(&mut self, member: UserId, key: VerifyingKey) {
+        self.anchors.insert(member, key);
+    }
+
+    /// Marks a member as distrusted: its endorsements stop counting
+    /// (the community-CA analogue of revoking an endorser).
+    pub fn distrust(&mut self, member: &UserId) {
+        self.distrusted.insert(*member);
+    }
+
+    /// Validates a community certificate at time `now`.
+    ///
+    /// Checks: the self-signature, the validity window, and that at
+    /// least `threshold` *distinct, anchored, trusted, non-subject*
+    /// endorsers signed it.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::BadIssuerSignature`] for a broken self-signature,
+    /// [`CertError::OutsideValidity`] outside the window, and
+    /// [`CertError::UnknownIssuer`] when the endorsement quorum is not
+    /// met (there is no issuer to trust).
+    pub fn validate(&self, cc: &CommunityCertificate, now: u64) -> Result<(), CertError> {
+        // Self-signature binds the keys to the claimed identity.
+        cc.certificate.verify_issuer(&cc.certificate.ed25519_public)?;
+        cc.certificate.check_validity(now)?;
+        let mut signed = Vec::with_capacity(64);
+        signed.extend_from_slice(ENDORSE_CONTEXT);
+        signed.extend_from_slice(&cc.certificate.tbs_bytes());
+        let mut valid_endorsers = BTreeSet::new();
+        for endorsement in &cc.endorsements {
+            if endorsement.endorser == cc.certificate.subject {
+                continue; // self-endorsement never counts
+            }
+            if self.distrusted.contains(&endorsement.endorser) {
+                continue;
+            }
+            let Some(key) = self.anchors.get(&endorsement.endorser) else {
+                continue;
+            };
+            if key.verify(&signed, &endorsement.signature) {
+                valid_endorsers.insert(endorsement.endorser);
+            }
+        }
+        if valid_endorsers.len() >= self.threshold {
+            Ok(())
+        } else {
+            Err(CertError::UnknownIssuer)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(seed: u8, name: &str) -> (UserId, SigningKey) {
+        (UserId::from_str_padded(name), SigningKey::from_seed([seed; 32]))
+    }
+
+    fn community() -> (
+        CommunityCertificate,
+        QuorumValidator,
+        Vec<(UserId, SigningKey)>,
+    ) {
+        let subject = member(1, "newcomer");
+        let members: Vec<(UserId, SigningKey)> = (0..4)
+            .map(|i| member(10 + i, &format!("member-{i}")))
+            .collect();
+        let cc = CommunityCertificate::self_signed(
+            &subject.1,
+            subject.0,
+            "Newcomer",
+            [7; 32],
+            0,
+            1_000,
+        );
+        let anchors: BTreeMap<UserId, VerifyingKey> = members
+            .iter()
+            .map(|(id, key)| (*id, key.verifying_key()))
+            .collect();
+        (cc, QuorumValidator::new(anchors, 2), members)
+    }
+
+    #[test]
+    fn quorum_reached_accepts() {
+        let (mut cc, validator, members) = community();
+        assert_eq!(
+            validator.validate(&cc, 10).unwrap_err(),
+            CertError::UnknownIssuer,
+            "no endorsements yet"
+        );
+        let e0 = cc.endorse(members[0].0, &members[0].1);
+        cc.add_endorsement(e0);
+        assert!(validator.validate(&cc, 10).is_err(), "1 of 2 required");
+        let e1 = cc.endorse(members[1].0, &members[1].1);
+        cc.add_endorsement(e1);
+        assert!(validator.validate(&cc, 10).is_ok(), "2 of 2 reached");
+    }
+
+    #[test]
+    fn duplicate_endorser_counts_once() {
+        let (mut cc, validator, members) = community();
+        let e = cc.endorse(members[0].0, &members[0].1);
+        cc.add_endorsement(e.clone());
+        cc.add_endorsement(e);
+        assert!(validator.validate(&cc, 10).is_err());
+        assert_eq!(cc.endorsements.len(), 1);
+    }
+
+    #[test]
+    fn self_endorsement_does_not_count() {
+        let (mut cc, mut validator, _) = community();
+        let subject_key = SigningKey::from_seed([1; 32]);
+        validator.add_anchor(cc.certificate.subject, subject_key.verifying_key());
+        let self_e = cc.endorse(cc.certificate.subject, &subject_key);
+        cc.add_endorsement(self_e);
+        assert!(validator.validate(&cc, 10).is_err());
+    }
+
+    #[test]
+    fn unanchored_endorser_ignored() {
+        let (mut cc, validator, _) = community();
+        let stranger = member(99, "stranger");
+        let e = cc.endorse(stranger.0, &stranger.1);
+        cc.add_endorsement(e);
+        assert!(validator.validate(&cc, 10).is_err());
+    }
+
+    #[test]
+    fn distrusted_endorser_stops_counting() {
+        let (mut cc, mut validator, members) = community();
+        for m in &members[..2] {
+            let e = cc.endorse(m.0, &m.1);
+            cc.add_endorsement(e);
+        }
+        assert!(validator.validate(&cc, 10).is_ok());
+        validator.distrust(&members[0].0);
+        assert!(validator.validate(&cc, 10).is_err(), "quorum broken");
+    }
+
+    #[test]
+    fn forged_endorsement_rejected() {
+        let (mut cc, validator, members) = community();
+        let forger = SigningKey::from_seed([77; 32]);
+        // Claims to be member-0 but signs with the wrong key.
+        let mut signed = Vec::new();
+        signed.extend_from_slice(ENDORSE_CONTEXT);
+        signed.extend_from_slice(&cc.certificate.tbs_bytes());
+        cc.add_endorsement(Endorsement {
+            endorser: members[0].0,
+            signature: forger.sign(&signed),
+        });
+        let e1 = cc.endorse(members[1].0, &members[1].1);
+        cc.add_endorsement(e1);
+        assert!(validator.validate(&cc, 10).is_err(), "only 1 real endorsement");
+    }
+
+    #[test]
+    fn tampered_certificate_invalidates_endorsements() {
+        let (mut cc, validator, members) = community();
+        for m in &members[..2] {
+            let e = cc.endorse(m.0, &m.1);
+            cc.add_endorsement(e);
+        }
+        assert!(validator.validate(&cc, 10).is_ok());
+        // Attacker swaps the agreement key after endorsement.
+        cc.certificate.x25519_public = [66; 32];
+        assert!(validator.validate(&cc, 10).is_err());
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let (mut cc, validator, members) = community();
+        for m in &members[..2] {
+            let e = cc.endorse(m.0, &m.1);
+            cc.add_endorsement(e);
+        }
+        assert!(matches!(
+            validator.validate(&cc, 5_000).unwrap_err(),
+            CertError::OutsideValidity { .. }
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Sealed boxes: anonymous public-key encryption to an X25519 recipient.
+//!
+//! Used by AlleyOop Social for end-to-end encrypted direct messages that
+//! may traverse many untrusted forwarders: only the recipient's agreement
+//! key can open the box. Construction: an ephemeral X25519 key agrees with
+//! the recipient key; HKDF-SHA-256 derives a ChaCha20-Poly1305 key; the
+//! ephemeral public key travels in the clear and is bound into the AEAD
+//! associated data.
+
+use crate::aead;
+use crate::error::CryptoError;
+use crate::hkdf::hkdf;
+use crate::x25519::AgreementKey;
+
+/// Domain-separation label for the sealed-box KDF.
+const INFO: &[u8] = b"sos-sealed-box-v1";
+
+/// Encrypts `plaintext` so only the holder of the secret for
+/// `recipient_public` can read it.
+///
+/// Output layout: `ephemeral_public(32) || ciphertext || tag(16)`.
+pub fn seal<R: rand::RngCore>(
+    rng: &mut R,
+    recipient_public: &[u8; 32],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let ephemeral = AgreementKey::generate(rng);
+    let shared = ephemeral
+        .agree(recipient_public)
+        .ok_or(CryptoError::NonContributoryAgreement)?;
+    let mut ikm = Vec::with_capacity(96);
+    ikm.extend_from_slice(&shared);
+    ikm.extend_from_slice(ephemeral.public());
+    ikm.extend_from_slice(recipient_public);
+    let mut key = [0u8; 32];
+    hkdf(&[], &ikm, INFO, &mut key);
+    // The key is unique per ephemeral keypair, so a fixed nonce is safe.
+    let nonce = [0u8; 12];
+    let mut out = Vec::with_capacity(32 + plaintext.len() + aead::TAG_LEN);
+    out.extend_from_slice(ephemeral.public());
+    out.extend_from_slice(&aead::seal(&key, &nonce, ephemeral.public(), plaintext));
+    Ok(out)
+}
+
+/// Opens a sealed box with the recipient's key pair.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::Truncated`] for inputs shorter than a header,
+/// [`CryptoError::NonContributoryAgreement`] for a low-order ephemeral
+/// key, and [`CryptoError::AeadTagMismatch`] when decryption fails.
+pub fn open(recipient: &AgreementKey, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < 32 + aead::TAG_LEN {
+        return Err(CryptoError::Truncated);
+    }
+    let mut eph_pub = [0u8; 32];
+    eph_pub.copy_from_slice(&sealed[..32]);
+    let shared = recipient
+        .agree(&eph_pub)
+        .ok_or(CryptoError::NonContributoryAgreement)?;
+    let mut ikm = Vec::with_capacity(96);
+    ikm.extend_from_slice(&shared);
+    ikm.extend_from_slice(&eph_pub);
+    ikm.extend_from_slice(recipient.public());
+    let mut key = [0u8; 32];
+    hkdf(&[], &ikm, INFO, &mut key);
+    let nonce = [0u8; 12];
+    aead::open(&key, &nonce, &eph_pub, &sealed[32..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let recipient = AgreementKey::generate(&mut rng);
+        let sealed = seal(&mut rng, recipient.public(), b"secret plan").unwrap();
+        assert_eq!(open(&recipient, &sealed).unwrap(), b"secret plan");
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let recipient = AgreementKey::generate(&mut rng);
+        let eavesdropper = AgreementKey::generate(&mut rng);
+        let sealed = seal(&mut rng, recipient.public(), b"secret").unwrap();
+        assert!(open(&eavesdropper, &sealed).is_err());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let recipient = AgreementKey::generate(&mut rng);
+        let mut sealed = seal(&mut rng, recipient.public(), b"secret").unwrap();
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert!(open(&recipient, &sealed).is_err());
+    }
+
+    #[test]
+    fn each_seal_is_unique() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let recipient = AgreementKey::generate(&mut rng);
+        let a = seal(&mut rng, recipient.public(), b"same").unwrap();
+        let b = seal(&mut rng, recipient.public(), b"same").unwrap();
+        assert_ne!(a, b, "ephemeral keys must differ");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let recipient = AgreementKey::from_secret([1u8; 32]);
+        assert_eq!(
+            open(&recipient, &[0u8; 10]).unwrap_err(),
+            CryptoError::Truncated
+        );
+    }
+}

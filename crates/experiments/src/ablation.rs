@@ -1,0 +1,109 @@
+//! Routing-scheme ablation: the same field-study scenario run under
+//! every built-in scheme (extension experiment; §III-B motivates the
+//! modular routing manager precisely so such comparisons are easy).
+
+use crate::scenario::{run_field_study, FieldStudyConfig};
+use sos_core::routing::SchemeKind;
+
+/// One row of the ablation table.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// The routing scheme.
+    pub scheme: SchemeKind,
+    /// Interested deliveries achieved.
+    pub deliveries: usize,
+    /// Total user-to-user transfers (cost).
+    pub transfers: u64,
+    /// Transfers per delivery (overhead; lower is better).
+    pub overhead: f64,
+    /// Fraction of deliveries at one hop.
+    pub one_hop_fraction: f64,
+    /// Median delivery delay in hours (None if no deliveries).
+    pub median_delay_hours: Option<f64>,
+    /// Overall delivery ratio across subscriptions.
+    pub delivery_ratio: f64,
+}
+
+/// Runs the scenario under each scheme and tabulates the comparison.
+pub fn run_ablation(base: &FieldStudyConfig, schemes: &[SchemeKind]) -> Vec<AblationRow> {
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let cfg = FieldStudyConfig {
+                scheme,
+                ..base.clone()
+            };
+            let outcome = run_field_study(&cfg);
+            let deliveries = outcome.metrics.delays.len();
+            let transfers = outcome.transfers();
+            let cdf = outcome.metrics.delays.cdf_all_hours();
+            AblationRow {
+                scheme,
+                deliveries,
+                transfers,
+                overhead: if deliveries == 0 {
+                    f64::INFINITY
+                } else {
+                    transfers as f64 / deliveries as f64
+                },
+                one_hop_fraction: outcome.one_hop_fraction(),
+                median_delay_hours: if cdf.is_empty() {
+                    None
+                } else {
+                    Some(cdf.quantile(0.5))
+                },
+                delivery_ratio: outcome.metrics.delivery.overall_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the ablation rows as an aligned table.
+pub fn format_table(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Routing-scheme ablation (same scenario, same seed)\n");
+    out.push_str(
+        "scheme               deliveries transfers overhead 1-hop  median-delay ratio\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>9} {:>8.2} {:>6.3} {:>12} {:>6.3}\n",
+            r.scheme.name(),
+            r.deliveries,
+            r.transfers,
+            r.overhead,
+            r.one_hop_fraction,
+            r.median_delay_hours
+                .map(|h| format!("{h:.1} h"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.delivery_ratio,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::small_test_config;
+
+    #[test]
+    fn ablation_runs_all_schemes() {
+        let base = small_test_config(4, SchemeKind::InterestBased);
+        let rows = run_ablation(
+            &base,
+            &[
+                SchemeKind::Direct,
+                SchemeKind::InterestBased,
+                SchemeKind::Epidemic,
+            ],
+        );
+        assert_eq!(rows.len(), 3);
+        let table = format_table(&rows);
+        assert!(table.contains("interest-based"));
+        // Epidemic must move at least as many bundles as direct.
+        let direct = &rows[0];
+        let epidemic = &rows[2];
+        assert!(epidemic.transfers >= direct.transfers);
+    }
+}

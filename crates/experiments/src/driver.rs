@@ -1,0 +1,322 @@
+//! The discrete-event driver: moves frames between AlleyOop apps
+//! according to the mobility world and link models, and records every
+//! metric the paper's evaluation reports.
+//!
+//! This is the substitute for physics: where the paper had ten iPhones
+//! radiating over Bluetooth and peer-to-peer WiFi, we have trajectories,
+//! range checks, per-bearer latency/bandwidth/loss, and a seeded RNG.
+
+use alleyoop::app::AlleyOopApp;
+use rand::SeedableRng;
+use sos_core::message::MessageKind;
+use sos_core::middleware::{SosEvent, SosStats};
+use sos_net::{Frame, LinkModel, PeerId};
+use sos_sim::metrics::{DelayRecorder, DeliveryRecorder};
+use sos_sim::{EventQueue, SimDuration, SimTime, World};
+use std::collections::BTreeMap;
+
+/// Where on the map something happened (for Fig. 4b).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapEvent {
+    /// X coordinate, metres.
+    pub x: f64,
+    /// Y coordinate, metres.
+    pub y: f64,
+    /// What happened.
+    pub kind: MapEventKind,
+}
+
+/// The two colours of Fig. 4b.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapEventKind {
+    /// A message was created here (blue in the paper).
+    Created,
+    /// A message was received here via D2D (red in the paper).
+    Disseminated,
+}
+
+/// Driver events.
+#[derive(Debug)]
+enum Event {
+    /// `node` broadcasts its advertisement to everyone in range.
+    Advertise(usize),
+    /// A frame arrives at `dst` (sent by `src` earlier).
+    Deliver { src: usize, dst: usize, frame: Frame },
+    /// `node` authors a post.
+    Post { node: usize },
+    /// A contact closed; both ends lose the peer.
+    ContactDown { a: usize, b: usize },
+}
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Advertisement broadcast period per node.
+    pub ad_interval: SimDuration,
+    /// Whether infrastructure WiFi is available (extends range).
+    pub infra_available: bool,
+    /// RNG seed for link loss and middleware randomness.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            ad_interval: SimDuration::from_secs(60),
+            infra_available: false,
+            seed: 7,
+        }
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    /// Unique messages posted.
+    pub posts: u64,
+    /// Delay records for every delivery to an interested subscriber.
+    pub delays: DelayRecorder,
+    /// Per-subscription delivery bookkeeping.
+    pub delivery: DeliveryRecorder,
+    /// Map events for Fig. 4b.
+    pub map: Vec<MapEvent>,
+    /// Total frames transmitted (any type).
+    pub frames_sent: u64,
+    /// Frames lost to the link model.
+    pub frames_lost: u64,
+    /// Security alerts raised by any node.
+    pub security_alerts: u64,
+}
+
+/// The simulation driver: apps + world + queue + recorders.
+pub struct Driver {
+    apps: Vec<AlleyOopApp>,
+    world: World,
+    /// follower sets: `follows[author] = set of follower node indices`.
+    followers: Vec<Vec<usize>>,
+    user_index: BTreeMap<sos_crypto::UserId, usize>,
+    queue: EventQueue<Event>,
+    rng: rand::rngs::StdRng,
+    config: DriverConfig,
+    end: SimTime,
+    metrics: RunMetrics,
+}
+
+impl Driver {
+    /// Creates a driver.
+    ///
+    /// `followers[a]` lists the node indices subscribed to node `a`'s
+    /// user; the driver uses it to register delivery expectations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` and the world disagree on the node count.
+    pub fn new(
+        apps: Vec<AlleyOopApp>,
+        world: World,
+        followers: Vec<Vec<usize>>,
+        config: DriverConfig,
+        end: SimTime,
+    ) -> Driver {
+        assert_eq!(apps.len(), world.node_count(), "node count mismatch");
+        assert_eq!(apps.len(), followers.len(), "follower map mismatch");
+        let user_index = apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| (app.user_id(), i))
+            .collect();
+        let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        Driver {
+            apps,
+            world,
+            followers,
+            user_index,
+            queue: EventQueue::new(),
+            rng,
+            config,
+            end,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Schedules a post by `node` at `at`.
+    pub fn schedule_post(&mut self, at: SimTime, node: usize) {
+        self.queue.schedule(at, Event::Post { node });
+    }
+
+    /// Schedules the periodic advertisement broadcasts for every node,
+    /// phase-shifted so simultaneous session collisions are rare.
+    fn schedule_advertisements(&mut self) {
+        let n = self.apps.len() as u64;
+        for node in 0..self.apps.len() {
+            // Phase-stagger nodes across the interval.
+            let phase = self.config.ad_interval.as_millis() * node as u64 / n.max(1);
+            let mut t = SimTime::from_millis(phase);
+            while t <= self.end {
+                self.queue.schedule(t, Event::Advertise(node));
+                t += self.config.ad_interval;
+            }
+        }
+    }
+
+    /// Schedules contact-down notifications from the world's contact
+    /// events so sessions break when radios separate.
+    fn schedule_contact_downs(&mut self) {
+        for ev in self.world.contact_events(SimTime::ZERO, self.end) {
+            if ev.phase == sos_sim::ContactPhase::Down {
+                self.queue
+                    .schedule(ev.time, Event::ContactDown { a: ev.a, b: ev.b });
+            }
+        }
+    }
+
+    /// Runs the simulation to the end and returns the metrics and the
+    /// final applications (whose local databases hold every feed).
+    pub fn run(mut self) -> (RunMetrics, Vec<AlleyOopApp>) {
+        self.schedule_advertisements();
+        self.schedule_contact_downs();
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.end {
+                break;
+            }
+            match event {
+                Event::Advertise(node) => self.on_advertise(node, now),
+                Event::Deliver { src, dst, frame } => self.on_deliver(src, dst, frame, now),
+                Event::Post { node } => self.on_post(node, now),
+                Event::ContactDown { a, b } => {
+                    self.apps[a].middleware_mut().on_peer_lost(PeerId(b as u32));
+                    self.apps[b].middleware_mut().on_peer_lost(PeerId(a as u32));
+                }
+            }
+        }
+        (self.metrics, self.apps)
+    }
+
+    fn on_advertise(&mut self, node: usize, now: SimTime) {
+        let in_range: Vec<usize> = (0..self.apps.len())
+            .filter(|&m| m != node && self.world.in_range(node, m, now))
+            .collect();
+        if in_range.is_empty() {
+            return;
+        }
+        let ad = self.apps[node].middleware().advertisement(now);
+        for dst in in_range {
+            self.transmit(node, dst, Frame::Advertisement(ad.clone()), now);
+        }
+    }
+
+    fn transmit(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
+        let distance = self.world.distance(src, dst, now);
+        let Some(link) = LinkModel::for_distance(distance, self.config.infra_available) else {
+            return; // moved out of range before transmission
+        };
+        self.metrics.frames_sent += 1;
+        if link.should_drop(&mut self.rng) {
+            self.metrics.frames_lost += 1;
+            return;
+        }
+        let delay = link.delay_for(frame.wire_size());
+        self.queue
+            .schedule(now + delay, Event::Deliver { src, dst, frame });
+    }
+
+    fn on_deliver(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
+        if !self.world.in_range(src, dst, now) {
+            return; // receiver moved away mid-flight
+        }
+        let replies =
+            self.apps[dst]
+                .middleware_mut()
+                .handle_frame(PeerId(src as u32), frame, now, &mut self.rng);
+        self.collect_app_events(dst, now);
+        for (to, f) in replies {
+            self.transmit(dst, to.0 as usize, f, now);
+        }
+    }
+
+    fn on_post(&mut self, node: usize, now: SimTime) {
+        let n = self.metrics.posts + 1;
+        let text = format!("post #{n} by {}", self.apps[node].handle());
+        self.apps[node].post(&text, now);
+        self.metrics.posts += 1;
+        let pos = self.world.position(node, now);
+        self.metrics.map.push(MapEvent {
+            x: pos.x,
+            y: pos.y,
+            kind: MapEventKind::Created,
+        });
+        for &follower in &self.followers[node] {
+            self.metrics.delivery.expect(follower, node);
+        }
+    }
+
+    fn collect_app_events(&mut self, node: usize, now: SimTime) {
+        let events = self.apps[node].process_events_at(now);
+        for event in events {
+            match event {
+                SosEvent::MessageReceived {
+                    id,
+                    kind: MessageKind::Post,
+                    created_at,
+                    hops,
+                    ..
+                } => {
+                    let Some(&author_idx) = self.user_index.get(&id.author) else {
+                        continue;
+                    };
+                    let interested = self.followers[author_idx].contains(&node);
+                    let pos = self.world.position(node, now);
+                    self.metrics.map.push(MapEvent {
+                        x: pos.x,
+                        y: pos.y,
+                        kind: MapEventKind::Disseminated,
+                    });
+                    if interested {
+                        self.metrics.delays.record(created_at, now, hops);
+                        self.metrics.delivery.delivered(node, author_idx);
+                    }
+                }
+                SosEvent::SecurityAlert { .. } => {
+                    self.metrics.security_alerts += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Aggregated middleware stats across nodes (available after `run`
+    /// via the returned apps; exposed here for mid-run inspection in
+    /// tests).
+    pub fn total_stats(&self) -> SosStats {
+        let mut total = SosStats::default();
+        for app in &self.apps {
+            let s = app.middleware().stats();
+            total.posts += s.posts;
+            total.bundles_sent += s.bundles_sent;
+            total.bundles_received += s.bundles_received;
+            total.bundles_duplicate += s.bundles_duplicate;
+            total.security_rejections += s.security_rejections;
+            total.sessions_initiated += s.sessions_initiated;
+            total.sessions_accepted += s.sessions_accepted;
+            total.requests_served += s.requests_served;
+        }
+        total
+    }
+}
+
+/// Sums middleware stats over a slice of applications.
+pub fn aggregate_stats(apps: &[AlleyOopApp]) -> SosStats {
+    let mut total = SosStats::default();
+    for app in apps {
+        let s = app.middleware().stats();
+        total.posts += s.posts;
+        total.bundles_sent += s.bundles_sent;
+        total.bundles_received += s.bundles_received;
+        total.bundles_duplicate += s.bundles_duplicate;
+        total.security_rejections += s.security_rejections;
+        total.sessions_initiated += s.sessions_initiated;
+        total.sessions_accepted += s.sessions_accepted;
+        total.requests_served += s.requests_served;
+    }
+    total
+}

@@ -1,0 +1,27 @@
+//! # sos-experiments
+//!
+//! The evaluation harness: rebuilds the paper's field study (§VI) on the
+//! simulated substrate and regenerates every figure.
+//!
+//! * [`social`] — the reconstructed Fig. 4a follow digraph
+//! * [`driver`] — the discrete-event network driver over `sos-sim`
+//! * [`scenario`] — the 10-node / 7-day / 259-post Gainesville scenario
+//! * [`report`] — paper-vs-measured tables and figure series
+//! * [`ablation`] — the routing-scheme comparison (extension)
+//! * [`density`] — conventional-simulation vs field-study density
+//!   (the §VI-B discussion, extension)
+//!
+//! Run `cargo run --release -p sos-experiments --bin repro -- all` to
+//! print every reproduced figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod density;
+pub mod driver;
+pub mod report;
+pub mod scenario;
+pub mod social;
+
+pub use scenario::{run_field_study, FieldStudyConfig, FieldStudyOutcome};

@@ -1,0 +1,304 @@
+//! Report formatting: regenerates each figure's data series and prints
+//! paper-vs-measured comparisons.
+
+use crate::driver::MapEventKind;
+use crate::scenario::FieldStudyOutcome;
+use sos_sim::metrics::Cdf;
+
+/// Paper-published values for §VI, used in the comparison tables.
+pub mod paper {
+    /// Undirected density of the social graph.
+    pub const DENSITY: f64 = 0.64;
+    /// Average shortest path length.
+    pub const AVG_PATH: f64 = 1.3;
+    /// Diameter.
+    pub const DIAMETER: usize = 2;
+    /// Radius.
+    pub const RADIUS: usize = 1;
+    /// Transitivity.
+    pub const TRANSITIVITY: f64 = 0.80;
+    /// Directed subscriptions.
+    pub const SUBSCRIPTIONS: usize = 46;
+    /// Unique messages posted.
+    pub const UNIQUE_MESSAGES: u64 = 259;
+    /// User-to-user transfers with IB routing.
+    pub const TRANSFERS: u64 = 967;
+    /// Fraction of deliveries at one hop.
+    pub const ONE_HOP_FRACTION: f64 = 0.826;
+    /// Delay CDF reference points: (hours, all-hops fraction, 1-hop fraction).
+    pub const DELAY_POINTS: [(f64, f64, f64); 2] = [(24.0, 0.43, 0.44), (94.0, 0.90, 0.92)];
+    /// Fraction of messages delivered within 94 h.
+    pub const WITHIN_94H: f64 = 0.93;
+    /// Delivery-ratio reference points (all hops): fraction of
+    /// subscriptions with ratio above the threshold.
+    pub const DELIVERY_ABOVE_080_ALL: f64 = 0.30;
+    /// Fraction of subscriptions above 0.70 (all hops).
+    pub const DELIVERY_ABOVE_070_ALL: f64 = 0.50;
+}
+
+/// Renders the Fig. 4a table: paper vs measured social-graph metrics.
+pub fn fig4a(outcome: &FieldStudyOutcome) -> String {
+    let s = &outcome.social;
+    let mut out = String::new();
+    out.push_str("Fig. 4a — social relationship digraph (10 active users)\n");
+    out.push_str("metric                     paper    measured\n");
+    out.push_str(&format!(
+        "nodes                      10       {}\n",
+        s.nodes
+    ));
+    out.push_str(&format!(
+        "subscriptions              {}       {}\n",
+        paper::SUBSCRIPTIONS,
+        s.subscriptions
+    ));
+    out.push_str(&format!(
+        "density (undirected)       {:.2}     {:.3}\n",
+        paper::DENSITY,
+        s.density
+    ));
+    out.push_str(&format!(
+        "avg shortest path          {:.1}      {:.2}\n",
+        paper::AVG_PATH,
+        s.average_shortest_path
+    ));
+    out.push_str(&format!(
+        "diameter                   {}        {}\n",
+        paper::DIAMETER,
+        s.diameter
+    ));
+    out.push_str(&format!(
+        "radius                     {}        {}\n",
+        paper::RADIUS,
+        s.radius
+    ));
+    out.push_str(&format!(
+        "center nodes               6,7      {}\n",
+        s.center
+            .iter()
+            .map(|c| (c + 1).to_string()) // paper numbers nodes from 1
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    out.push_str(&format!(
+        "transitivity               {:.2}     {:.3}\n",
+        paper::TRANSITIVITY,
+        s.transitivity
+    ));
+    out
+}
+
+/// Renders the Fig. 4b ASCII density map: message generation (`o`) and
+/// dissemination (`x`) over the ~11 km × 8 km plane.
+pub fn fig4b(outcome: &FieldStudyOutcome, cols: usize, rows: usize) -> String {
+    let map = &outcome.metrics.map;
+    let (width, height) = (11_000.0f64, 8_000.0f64);
+    let mut created = vec![vec![0u32; cols]; rows];
+    let mut relayed = vec![vec![0u32; cols]; rows];
+    for ev in map {
+        let c = ((ev.x / width) * cols as f64).min(cols as f64 - 1.0) as usize;
+        let r = ((ev.y / height) * rows as f64).min(rows as f64 - 1.0) as usize;
+        match ev.kind {
+            MapEventKind::Created => created[r][c] += 1,
+            MapEventKind::Disseminated => relayed[r][c] += 1,
+        }
+    }
+    let mut out = String::new();
+    out.push_str("Fig. 4b — message generation (o) and dissemination (x) map\n");
+    out.push_str(&format!(
+        "area 11 km x 8 km; {} created (blue in paper), {} disseminated (red)\n",
+        map.iter().filter(|e| e.kind == MapEventKind::Created).count(),
+        map.iter()
+            .filter(|e| e.kind == MapEventKind::Disseminated)
+            .count()
+    ));
+    for r in (0..rows).rev() {
+        out.push('|');
+        for c in 0..cols {
+            let ch = match (created[r][c], relayed[r][c]) {
+                (0, 0) => ' ',
+                (_, 0) => 'o',
+                (0, _) => 'x',
+                (_, _) => '*',
+            };
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+fn cdf_series_lines(cdf: &Cdf, label: &str) -> String {
+    let xs: Vec<f64> = (0..=12).map(|i| i as f64 * 14.0).collect();
+    let mut out = format!("  {label} (n={}):\n", cdf.len());
+    for (x, f) in cdf.series(&xs) {
+        out.push_str(&format!("    <= {x:5.0} h : {f:.3}\n"));
+    }
+    out
+}
+
+/// Renders Fig. 4c: delivery-delay CDFs for "1-hop" and "All".
+pub fn fig4c(outcome: &FieldStudyOutcome) -> String {
+    let all = outcome.metrics.delays.cdf_all_hours();
+    let one = outcome.metrics.delays.cdf_one_hop_hours();
+    let mut out = String::new();
+    out.push_str("Fig. 4c — delivery delay CDF\n");
+    out.push_str("checkpoint            paper(All) meas(All) paper(1hop) meas(1hop)\n");
+    for (hours, p_all, p_one) in paper::DELAY_POINTS {
+        out.push_str(&format!(
+            "<= {hours:3.0} h              {:.2}       {:.3}     {:.2}        {:.3}\n",
+            p_all,
+            all.fraction_le(hours),
+            p_one,
+            one.fraction_le(hours)
+        ));
+    }
+    out.push_str(&cdf_series_lines(&all, "All hops"));
+    out.push_str(&cdf_series_lines(&one, "1-hop"));
+    out
+}
+
+/// Renders Fig. 4d: the per-subscription delivery-ratio CDF.
+pub fn fig4d(outcome: &FieldStudyOutcome) -> String {
+    let delivery = &outcome.metrics.delivery;
+    let cdf = delivery.ratio_cdf();
+    let mut out = String::new();
+    out.push_str("Fig. 4d — per-subscription delivery ratio\n");
+    out.push_str(&format!(
+        "subscriptions with >= 1 expected message: {}\n",
+        delivery.subscription_count()
+    ));
+    out.push_str(&format!(
+        "fraction of subs with ratio > 0.80 (All): paper {:.2}, measured {:.3}\n",
+        paper::DELIVERY_ABOVE_080_ALL,
+        delivery.fraction_above(0.80)
+    ));
+    out.push_str(&format!(
+        "fraction of subs with ratio > 0.70 (All): paper {:.2}, measured {:.3}\n",
+        paper::DELIVERY_ABOVE_070_ALL,
+        delivery.fraction_above(0.70)
+    ));
+    out.push_str("ratio CDF:\n");
+    for i in 0..=10 {
+        let x = i as f64 / 10.0;
+        out.push_str(&format!("    <= {x:.1} : {:.3}\n", cdf.fraction_le(x)));
+    }
+    out.push_str(&format!(
+        "overall delivery ratio: {:.3}\n",
+        delivery.overall_ratio()
+    ));
+    out
+}
+
+/// Renders the §VI text metrics: message counts, transfers, hop mix.
+pub fn text_metrics(outcome: &FieldStudyOutcome) -> String {
+    let m = &outcome.metrics;
+    let all = m.delays.cdf_all_hours();
+    let mut out = String::new();
+    out.push_str("§VI text metrics\n");
+    out.push_str("metric                         paper    measured\n");
+    out.push_str(&format!(
+        "unique messages posted         {}      {}\n",
+        paper::UNIQUE_MESSAGES,
+        m.posts
+    ));
+    out.push_str(&format!(
+        "user-to-user transfers (IB)    {}      {}\n",
+        paper::TRANSFERS,
+        outcome.transfers()
+    ));
+    out.push_str(&format!(
+        "subscriptions                  {}       {}\n",
+        paper::SUBSCRIPTIONS,
+        outcome.social.subscriptions
+    ));
+    out.push_str(&format!(
+        "1-hop delivery fraction        {:.3}    {:.3}\n",
+        paper::ONE_HOP_FRACTION,
+        outcome.one_hop_fraction()
+    ));
+    out.push_str(&format!(
+        "delivered within 94 h          {:.2}     {:.3}\n",
+        paper::WITHIN_94H,
+        all.fraction_le(94.0)
+    ));
+    out.push_str(&format!(
+        "frames sent / lost             -        {} / {}\n",
+        m.frames_sent, m.frames_lost
+    ));
+    out.push_str(&format!(
+        "security rejections            0*       {}\n",
+        m.security_alerts
+    ));
+    out.push_str("(* the paper reports no security incidents in the study)\n");
+    out
+}
+
+/// One-line key metrics, used for calibration sweeps:
+/// `transfers 1hop d24 d94 ratio subs>0.8 subs>0.7`.
+pub fn key_line(outcome: &FieldStudyOutcome) -> String {
+    let all = outcome.metrics.delays.cdf_all_hours();
+    let d = &outcome.metrics.delivery;
+    let mut hops = [0usize; 3];
+    for r in outcome.metrics.delays.records() {
+        hops[(r.hops.min(3) as usize) - 1] += 1;
+    }
+    format!(
+        "seed={} transfers={} one_hop={:.3} d24={:.3} d94={:.3} ratio={:.3} gt08={:.3} gt07={:.3} hops(1/2/3+)={}/{}/{}",
+        outcome.seed,
+        outcome.transfers(),
+        outcome.one_hop_fraction(),
+        all.fraction_le(24.0),
+        all.fraction_le(94.0),
+        d.overall_ratio(),
+        d.fraction_above(0.80),
+        d.fraction_above(0.70),
+        hops[0],
+        hops[1],
+        hops[2],
+    )
+}
+
+/// The full report: every figure plus the run parameters.
+pub fn full_report(outcome: &FieldStudyOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== SOS field-study reproduction (scheme={}, seed={}) ===\n\n",
+        outcome.scheme, outcome.seed
+    ));
+    out.push_str(&fig4a(outcome));
+    out.push('\n');
+    out.push_str(&fig4b(outcome, 66, 24));
+    out.push('\n');
+    out.push_str(&fig4c(outcome));
+    out.push('\n');
+    out.push_str(&fig4d(outcome));
+    out.push('\n');
+    out.push_str(&text_metrics(outcome));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_field_study, small_test_config};
+    use sos_core::routing::SchemeKind;
+
+    #[test]
+    fn reports_render_without_panicking() {
+        let outcome = run_field_study(&small_test_config(2, SchemeKind::InterestBased));
+        let report = full_report(&outcome);
+        assert!(report.contains("Fig. 4a"));
+        assert!(report.contains("Fig. 4b"));
+        assert!(report.contains("Fig. 4c"));
+        assert!(report.contains("Fig. 4d"));
+        assert!(report.contains("unique messages"));
+    }
+
+    #[test]
+    fn fig4b_grid_dimensions() {
+        let outcome = run_field_study(&small_test_config(2, SchemeKind::InterestBased));
+        let map = fig4b(&outcome, 40, 10);
+        let grid_rows = map.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(grid_rows, 10);
+    }
+}

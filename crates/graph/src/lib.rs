@@ -1,0 +1,31 @@
+//! # sos-graph
+//!
+//! Social-graph analytics for delay tolerant social networks.
+//!
+//! Implements exactly the measurements §VI-A of the SOS middleware paper
+//! reports for its field study (Fig. 4a): directed density, average
+//! shortest path length, diameter, radius, per-node eccentricity, and the
+//! transitivity of the undirected projection.
+//!
+//! ```
+//! use sos_graph::Digraph;
+//!
+//! let mut g = Digraph::new(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 0);
+//! g.add_edge(1, 2);
+//! assert_eq!(g.edge_count(), 3);
+//! let und = g.to_undirected();
+//! assert_eq!(und.edge_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digraph;
+pub mod metrics;
+pub mod undirected;
+
+pub use digraph::Digraph;
+pub use metrics::{GraphMetrics, SocialGraphReport};
+pub use undirected::Undirected;

@@ -1,0 +1,196 @@
+//! An undirected simple graph with triangle/triad counting.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph on nodes `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Undirected {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Undirected {
+    /// Creates an empty graph with `n` nodes.
+    pub fn new(n: usize) -> Undirected {
+        Undirected {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+
+    /// Adds edge `a — b` if absent; self-loops rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "node index out of range");
+        if a == b || self.adj[a].contains(&b) {
+            return false;
+        }
+        self.adj[a].push(b);
+        self.adj[b].push(a);
+        true
+    }
+
+    /// True if `a — b` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.n && self.adj[a].contains(&b)
+    }
+
+    /// Neighbours of `node`.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// Undirected density `|E| / (n(n-1)/2)`.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / (self.n * (self.n - 1) / 2) as f64
+    }
+
+    /// BFS distances from `source`; `None` when unreachable.
+    pub fn bfs_distances(&self, source: usize) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Number of triangles (3-cliques).
+    pub fn triangle_count(&self) -> usize {
+        let mut count = 0;
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                if b <= a {
+                    continue;
+                }
+                for &c in &self.adj[b] {
+                    if c <= b {
+                        continue;
+                    }
+                    if self.has_edge(a, c) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of connected triads (paths of length 2), i.e.
+    /// `Σ_v C(deg(v), 2)`.
+    pub fn triad_count(&self) -> usize {
+        self.adj
+            .iter()
+            .map(|nbrs| {
+                let d = nbrs.len();
+                d * d.saturating_sub(1) / 2
+            })
+            .sum()
+    }
+
+    /// Network transitivity `3 · triangles / triads` (paper §VI-A), the
+    /// extent to which a friend of a friend is also a friend.
+    ///
+    /// Returns 0 when the graph has no connected triads.
+    pub fn transitivity(&self) -> f64 {
+        let triads = self.triad_count();
+        if triads == 0 {
+            return 0.0;
+        }
+        3.0 * self.triangle_count() as f64 / triads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Undirected {
+        let mut g = Undirected::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn triangle_metrics() {
+        let g = triangle();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.triangle_count(), 1);
+        assert_eq!(g.triad_count(), 3);
+        assert!((g.transitivity() - 1.0).abs() < 1e-12);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_transitivity() {
+        let mut g = Undirected::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.triangle_count(), 0);
+        assert_eq!(g.triad_count(), 1);
+        assert_eq!(g.transitivity(), 0.0);
+    }
+
+    #[test]
+    fn star_graph_triads() {
+        // K_{1,4}: center has degree 4 → C(4,2) = 6 triads, no triangles.
+        let mut g = Undirected::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        assert_eq!(g.triad_count(), 6);
+        assert_eq!(g.transitivity(), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut g = Undirected::new(5);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.triangle_count(), 10); // C(5,3)
+        assert!((g.transitivity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_on_disconnected() {
+        let mut g = Undirected::new(4);
+        g.add_edge(0, 1);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), None, None]);
+    }
+}

@@ -1,0 +1,383 @@
+//! Wire codec for everything that crosses the air: advertisements,
+//! invitations, handshake messages, encrypted data, disconnects.
+//!
+//! A compact hand-rolled binary format (tag byte + length-prefixed
+//! fields). Only [`Frame::Data`] payloads are encrypted; discovery
+//! traffic is plain text per the paper's design.
+
+use crate::advertisement::Advertisement;
+use crate::error::NetError;
+use crate::handshake::{HandshakeInit, HandshakeResponse};
+use crate::peer::PeerId;
+use bytes::{Buf, BufMut, BytesMut};
+use sos_crypto::cert::Certificate;
+use sos_crypto::{Signature, UserId};
+use std::collections::BTreeMap;
+
+/// Why a session was torn down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// Radios moved out of range.
+    OutOfRange,
+    /// The peer failed security validation.
+    SecurityFailure,
+    /// The transfer completed and the session is no longer needed.
+    Done,
+    /// A protocol error (bad frame, sequence gap).
+    ProtocolError,
+}
+
+impl DisconnectReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            DisconnectReason::OutOfRange => 0,
+            DisconnectReason::SecurityFailure => 1,
+            DisconnectReason::Done => 2,
+            DisconnectReason::ProtocolError => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, NetError> {
+        Ok(match b {
+            0 => DisconnectReason::OutOfRange,
+            1 => DisconnectReason::SecurityFailure,
+            2 => DisconnectReason::Done,
+            3 => DisconnectReason::ProtocolError,
+            _ => return Err(NetError::BadFrame),
+        })
+    }
+}
+
+/// A frame on the simulated air interface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Plain-text discovery broadcast (§V-A).
+    Advertisement(Advertisement),
+    /// Connection invitation from a browser to an advertiser.
+    Invite {
+        /// The inviting device.
+        from: PeerId,
+    },
+    /// First handshake message.
+    HandshakeInit(HandshakeInit),
+    /// Second handshake message.
+    HandshakeResponse(HandshakeResponse),
+    /// Encrypted session payload.
+    Data {
+        /// Strictly increasing per-direction sequence number.
+        seq: u64,
+        /// AEAD ciphertext plus tag.
+        ciphertext: Vec<u8>,
+    },
+    /// Session teardown notification.
+    Disconnect {
+        /// Why the session ended.
+        reason: DisconnectReason,
+    },
+}
+
+const TAG_ADVERTISEMENT: u8 = 1;
+const TAG_INVITE: u8 = 2;
+const TAG_HS_INIT: u8 = 3;
+const TAG_HS_RESP: u8 = 4;
+const TAG_DATA: u8 = 5;
+const TAG_DISCONNECT: u8 = 6;
+
+fn put_cert(buf: &mut BytesMut, cert: &Certificate) {
+    let bytes = cert.to_bytes();
+    buf.put_u16_le(bytes.len() as u16);
+    buf.put_slice(&bytes);
+}
+
+fn get_slice<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], NetError> {
+    if buf.remaining() < n {
+        return Err(NetError::BadFrame);
+    }
+    let out = &buf[..n];
+    buf.advance(n);
+    Ok(out)
+}
+
+fn get_cert(buf: &mut &[u8]) -> Result<Certificate, NetError> {
+    if buf.remaining() < 2 {
+        return Err(NetError::BadFrame);
+    }
+    let len = buf.get_u16_le() as usize;
+    let raw = get_slice(buf, len)?;
+    Certificate::from_bytes(raw).map_err(|_| NetError::BadFrame)
+}
+
+fn get_array<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], NetError> {
+    let raw = get_slice(buf, N)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(raw);
+    Ok(out)
+}
+
+impl Frame {
+    /// Encodes the frame for transmission.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(256);
+        match self {
+            Frame::Advertisement(ad) => {
+                buf.put_u8(TAG_ADVERTISEMENT);
+                buf.put_u32_le(ad.peer.0);
+                buf.put_slice(ad.user_id.as_bytes());
+                buf.put_u16_le(ad.summary.len() as u16);
+                for (user, latest) in &ad.summary {
+                    buf.put_slice(user.as_bytes());
+                    buf.put_u64_le(*latest);
+                }
+            }
+            Frame::Invite { from } => {
+                buf.put_u8(TAG_INVITE);
+                buf.put_u32_le(from.0);
+            }
+            Frame::HandshakeInit(hs) => {
+                buf.put_u8(TAG_HS_INIT);
+                put_cert(&mut buf, &hs.certificate);
+                buf.put_slice(&hs.ephemeral_public);
+                buf.put_slice(hs.signature.as_bytes());
+            }
+            Frame::HandshakeResponse(hs) => {
+                buf.put_u8(TAG_HS_RESP);
+                put_cert(&mut buf, &hs.certificate);
+                buf.put_slice(&hs.ephemeral_public);
+                buf.put_slice(hs.signature.as_bytes());
+            }
+            Frame::Data { seq, ciphertext } => {
+                buf.put_u8(TAG_DATA);
+                buf.put_u64_le(*seq);
+                buf.put_u32_le(ciphertext.len() as u32);
+                buf.put_slice(ciphertext);
+            }
+            Frame::Disconnect { reason } => {
+                buf.put_u8(TAG_DISCONNECT);
+                buf.put_u8(reason.to_byte());
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadFrame`] for truncated, oversized or unknown input.
+    pub fn decode(mut bytes: &[u8]) -> Result<Frame, NetError> {
+        let buf = &mut bytes;
+        if buf.remaining() < 1 {
+            return Err(NetError::BadFrame);
+        }
+        let tag = buf.get_u8();
+        let frame = match tag {
+            TAG_ADVERTISEMENT => {
+                if buf.remaining() < 4 + 10 + 2 {
+                    return Err(NetError::BadFrame);
+                }
+                let peer = PeerId(buf.get_u32_le());
+                let user_id = UserId(get_array::<10>(buf)?);
+                let count = buf.get_u16_le() as usize;
+                let mut summary = BTreeMap::new();
+                for _ in 0..count {
+                    let user = UserId(get_array::<10>(buf)?);
+                    if buf.remaining() < 8 {
+                        return Err(NetError::BadFrame);
+                    }
+                    summary.insert(user, buf.get_u64_le());
+                }
+                Frame::Advertisement(Advertisement {
+                    peer,
+                    user_id,
+                    summary,
+                })
+            }
+            TAG_INVITE => {
+                if buf.remaining() < 4 {
+                    return Err(NetError::BadFrame);
+                }
+                Frame::Invite {
+                    from: PeerId(buf.get_u32_le()),
+                }
+            }
+            TAG_HS_INIT => {
+                let certificate = get_cert(buf)?;
+                let ephemeral_public = get_array::<32>(buf)?;
+                let signature =
+                    Signature::from_slice(get_slice(buf, 64)?).ok_or(NetError::BadFrame)?;
+                Frame::HandshakeInit(HandshakeInit {
+                    certificate,
+                    ephemeral_public,
+                    signature,
+                })
+            }
+            TAG_HS_RESP => {
+                let certificate = get_cert(buf)?;
+                let ephemeral_public = get_array::<32>(buf)?;
+                let signature =
+                    Signature::from_slice(get_slice(buf, 64)?).ok_or(NetError::BadFrame)?;
+                Frame::HandshakeResponse(HandshakeResponse {
+                    certificate,
+                    ephemeral_public,
+                    signature,
+                })
+            }
+            TAG_DATA => {
+                if buf.remaining() < 12 {
+                    return Err(NetError::BadFrame);
+                }
+                let seq = buf.get_u64_le();
+                let len = buf.get_u32_le() as usize;
+                let ciphertext = get_slice(buf, len)?.to_vec();
+                Frame::Data { seq, ciphertext }
+            }
+            TAG_DISCONNECT => {
+                if buf.remaining() < 1 {
+                    return Err(NetError::BadFrame);
+                }
+                Frame::Disconnect {
+                    reason: DisconnectReason::from_byte(buf.get_u8())?,
+                }
+            }
+            _ => return Err(NetError::BadFrame),
+        };
+        if buf.remaining() != 0 {
+            return Err(NetError::BadFrame);
+        }
+        Ok(frame)
+    }
+
+    /// Encoded size in bytes (used by the link model).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sos_crypto::ca::{CertificateAuthority, Validator};
+    use sos_crypto::ed25519::SigningKey;
+    use sos_crypto::x25519::AgreementKey;
+    use sos_crypto::DeviceIdentity;
+
+    fn identity() -> DeviceIdentity {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let signing = SigningKey::from_seed([2u8; 32]);
+        let agreement = AgreementKey::from_secret([3u8; 32]);
+        let uid = UserId::from_str_padded("alice");
+        let cert = ca.issue(uid, "Alice", signing.verifying_key(), *agreement.public(), 0);
+        DeviceIdentity::new(
+            uid,
+            signing,
+            agreement,
+            cert,
+            Validator::new(ca.root_certificate().clone()),
+        )
+    }
+
+    #[test]
+    fn advertisement_roundtrip() {
+        let mut ad = Advertisement::new(PeerId(9), UserId::from_str_padded("alice"));
+        ad.insert(UserId::from_str_padded("bob"), 17);
+        ad.insert(UserId::from_str_padded("carol"), 3);
+        let frame = Frame::Advertisement(ad);
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn invite_roundtrip() {
+        let frame = Frame::Invite { from: PeerId(3) };
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn handshake_roundtrip() {
+        let id = identity();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let init = crate::handshake::Initiator::start(&id, &mut rng);
+        let frame = Frame::HandshakeInit(init.message().clone());
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let frame = Frame::Data {
+            seq: 42,
+            ciphertext: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn disconnect_roundtrip() {
+        for reason in [
+            DisconnectReason::OutOfRange,
+            DisconnectReason::SecurityFailure,
+            DisconnectReason::Done,
+            DisconnectReason::ProtocolError,
+        ] {
+            let frame = Frame::Disconnect { reason };
+            assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(Frame::decode(&[]).unwrap_err(), NetError::BadFrame);
+        assert_eq!(Frame::decode(&[99]).unwrap_err(), NetError::BadFrame);
+        assert_eq!(Frame::decode(&[TAG_DATA, 1]).unwrap_err(), NetError::BadFrame);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Frame::Invite { from: PeerId(1) }.encode();
+        bytes.push(0);
+        assert_eq!(Frame::decode(&bytes).unwrap_err(), NetError::BadFrame);
+    }
+
+    #[test]
+    fn truncation_anywhere_rejected() {
+        let frame = Frame::Data {
+            seq: 7,
+            ciphertext: vec![9; 20],
+        };
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary bytes from the air must never panic the
+            /// decoder — they either parse or return BadFrame.
+            #[test]
+            fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+                let _ = Frame::decode(&bytes);
+            }
+
+            /// Valid frames survive bit flips without panicking, and a
+            /// flipped encoding never silently decodes into the same
+            /// frame with a different meaning for Data frames.
+            #[test]
+            fn bitflip_never_panics(seq in any::<u64>(),
+                                    payload in prop::collection::vec(any::<u8>(), 0..64),
+                                    flip_byte in 0usize..32,
+                                    flip_bit in 0u8..8) {
+                let frame = Frame::Data { seq, ciphertext: payload };
+                let mut bytes = frame.encode();
+                let idx = flip_byte % bytes.len();
+                bytes[idx] ^= 1 << flip_bit;
+                let _ = Frame::decode(&bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Link models: what it costs to move a frame between two devices on a
+//! given bearer.
+
+use rand::Rng;
+use sos_sim::radio::RadioTech;
+use sos_sim::time::SimDuration;
+
+/// A point-to-point link on one of the MPC bearers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkModel {
+    /// The bearer in use.
+    pub tech: RadioTech,
+}
+
+impl LinkModel {
+    /// Creates a link model for a bearer.
+    pub fn new(tech: RadioTech) -> LinkModel {
+        LinkModel { tech }
+    }
+
+    /// Picks the best bearer for a distance, if the pair is in range.
+    pub fn for_distance(distance_m: f64, infra_available: bool) -> Option<LinkModel> {
+        RadioTech::best_for_distance(distance_m, infra_available).map(LinkModel::new)
+    }
+
+    /// One-way delivery delay for a frame of `bytes` bytes:
+    /// propagation/stack latency plus serialization time.
+    pub fn delay_for(&self, bytes: usize) -> SimDuration {
+        let tx_ms = (bytes as f64 / self.tech.bandwidth_bps() * 1000.0).ceil() as u64;
+        SimDuration::from_millis(self.tech.latency_ms() + tx_ms)
+    }
+
+    /// Samples whether this frame is lost in transit.
+    pub fn should_drop<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.tech.loss_probability())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delay_scales_with_size() {
+        let link = LinkModel::new(RadioTech::Bluetooth);
+        let small = link.delay_for(100);
+        let large = link.delay_for(1_000_000);
+        assert!(large > small);
+        // 1 MB over ~1 Mbit/s should take ~8 s.
+        assert!(large >= SimDuration::from_secs(7));
+        assert!(large <= SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn wifi_is_faster_than_bluetooth() {
+        let bt = LinkModel::new(RadioTech::Bluetooth).delay_for(100_000);
+        let wifi = LinkModel::new(RadioTech::PeerToPeerWifi).delay_for(100_000);
+        assert!(wifi < bt);
+    }
+
+    #[test]
+    fn bearer_selection_by_distance() {
+        assert_eq!(
+            LinkModel::for_distance(5.0, false).unwrap().tech,
+            RadioTech::PeerToPeerWifi
+        );
+        assert!(LinkModel::for_distance(200.0, true).is_none());
+    }
+
+    #[test]
+    fn loss_rate_is_plausible() {
+        let link = LinkModel::new(RadioTech::PeerToPeerWifi);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let drops = (0..10_000).filter(|_| link.should_drop(&mut rng)).count();
+        // Expect ~1% ± generous tolerance.
+        assert!((50..200).contains(&drops), "drops = {drops}");
+    }
+}

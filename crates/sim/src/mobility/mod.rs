@@ -1,0 +1,21 @@
+//! Mobility: trajectory representation and generators.
+//!
+//! Trajectories are piecewise-linear paths through the plane; generators
+//! produce them deterministically from a seed. Two generators are
+//! provided:
+//!
+//! * [`random_waypoint`] — the classic DTN-simulation baseline the paper
+//!   contrasts itself against (§VI-B: "DTN simulations typically model 50
+//!   to 100 nodes in a constrained simulation space")
+//! * [`schedule`] — a daily home/campus/errand schedule with nightly
+//!   sleep, matching the field study's student population ("node mobility
+//!   tends to become stationary, for at least 5-8 hours a day due to the
+//!   human requirement to sleep")
+
+pub mod random_waypoint;
+pub mod schedule;
+pub mod trace;
+
+pub use random_waypoint::RandomWaypoint;
+pub use schedule::{DailySchedule, ScheduleConfig};
+pub use trace::Trajectory;

@@ -1,0 +1,110 @@
+//! The random-waypoint mobility model: the synthetic baseline used by the
+//! simulation studies the paper contrasts with its in-vivo deployment.
+
+use crate::geo::Bounds;
+use crate::mobility::trace::{Trajectory, TrajectoryBuilder};
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Configuration for [`RandomWaypoint`] trajectory generation.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    /// The simulation area.
+    pub bounds: Bounds,
+    /// Minimum movement speed, metres/second.
+    pub min_speed: f64,
+    /// Maximum movement speed, metres/second.
+    pub max_speed: f64,
+    /// Minimum pause at each waypoint.
+    pub min_pause: SimDuration,
+    /// Maximum pause at each waypoint.
+    pub max_pause: SimDuration,
+}
+
+impl RandomWaypoint {
+    /// A pedestrian-speed configuration in the given bounds
+    /// (0.5–1.5 m/s, 0–120 s pauses).
+    pub fn pedestrian(bounds: Bounds) -> RandomWaypoint {
+        RandomWaypoint {
+            bounds,
+            min_speed: 0.5,
+            max_speed: 1.5,
+            min_pause: SimDuration::ZERO,
+            max_pause: SimDuration::from_secs(120),
+        }
+    }
+
+    /// Generates a trajectory of at least `duration` for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if speeds are non-positive or `min > max` for speed/pause.
+    pub fn generate<R: Rng>(&self, rng: &mut R, duration: SimDuration) -> Trajectory {
+        assert!(
+            self.min_speed > 0.0 && self.max_speed >= self.min_speed,
+            "invalid speed range"
+        );
+        assert!(self.min_pause <= self.max_pause, "invalid pause range");
+        let start = self.bounds.sample(rng);
+        let mut b = TrajectoryBuilder::new(SimTime::ZERO, start);
+        let end = SimTime::ZERO + duration;
+        while b.now() < end {
+            let dest = self.bounds.sample(rng);
+            let speed = rng.gen_range(self.min_speed..=self.max_speed);
+            b.travel_to(dest, speed);
+            let pause_ms = rng.gen_range(self.min_pause.as_millis()..=self.max_pause.as_millis());
+            let pause_end = SimTime::from_millis(b.now().as_millis() + pause_ms);
+            b.wait_until(pause_end);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_in_bounds_and_covers_duration() {
+        let bounds = Bounds::new(1000.0, 500.0);
+        let rwp = RandomWaypoint::pedestrian(bounds);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let tr = rwp.generate(&mut rng, SimDuration::from_hours(2));
+        assert!(tr.end_time() >= SimTime::from_hours(2));
+        for step in 0..200 {
+            let t = SimTime::from_secs(step * 36);
+            assert!(bounds.contains(&tr.position_at(t)), "step {step}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let bounds = Bounds::new(1000.0, 500.0);
+        let rwp = RandomWaypoint::pedestrian(bounds);
+        let t1 = rwp.generate(
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+            SimDuration::from_hours(1),
+        );
+        let t2 = rwp.generate(
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+            SimDuration::from_hours(1),
+        );
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let bounds = Bounds::new(1000.0, 500.0);
+        let rwp = RandomWaypoint::pedestrian(bounds);
+        let t1 = rwp.generate(
+            &mut rand::rngs::StdRng::seed_from_u64(1),
+            SimDuration::from_hours(1),
+        );
+        let t2 = rwp.generate(
+            &mut rand::rngs::StdRng::seed_from_u64(2),
+            SimDuration::from_hours(1),
+        );
+        assert_ne!(t1, t2);
+    }
+}

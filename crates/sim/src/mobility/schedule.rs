@@ -1,0 +1,365 @@
+//! A daily-schedule mobility model for the field-study population.
+//!
+//! The paper's ten users were students who "typically interacted during
+//! the school week" and were "stationary, for at least 5-8 hours a day due
+//! to the human requirement to sleep" (§VI-B). Each node gets:
+//!
+//! * a **home** where it sleeps every night,
+//! * a shared **campus** (a cluster of buildings) it attends on weekdays
+//!   with some probability, moving between buildings through the day,
+//! * occasional evening **social visits** to another node's home.
+//!
+//! Contacts therefore happen mostly on campus (same building → within
+//! D2D range) and during visits, producing the heavy-tailed delivery
+//! delays of Fig. 4c: a message posted while its subscriber skips campus
+//! may wait days for the next co-location.
+
+use crate::geo::{Bounds, Point};
+use crate::mobility::trace::{Trajectory, TrajectoryBuilder};
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Configuration shared by all nodes of a [`DailySchedule`] population.
+#[derive(Clone, Debug)]
+pub struct ScheduleConfig {
+    /// The simulation area.
+    pub bounds: Bounds,
+    /// Centre of the shared campus.
+    pub campus_center: Point,
+    /// Number of campus buildings, arranged on a grid.
+    pub campus_buildings: usize,
+    /// Spacing between adjacent buildings, metres. Nodes in the same
+    /// building are within D2D range; nodes in different buildings are
+    /// usually not.
+    pub building_spacing: f64,
+    /// Probability a node attends campus on a weekday.
+    pub weekday_attendance: f64,
+    /// Probability a node attends campus on a weekend day.
+    pub weekend_attendance: f64,
+    /// Probability of an evening social visit to a friend's home.
+    pub social_visit_prob: f64,
+    /// Minimum visit duration in minutes.
+    pub visit_minutes_min: u64,
+    /// Maximum visit duration in minutes.
+    pub visit_minutes_max: u64,
+    /// Mean arrival hour on campus (e.g. 9.0 for 9am).
+    pub arrival_hour_mean: f64,
+    /// Uniform jitter (± hours) applied to arrival time.
+    pub arrival_jitter_hours: f64,
+    /// Mean hours spent on campus per attended day.
+    pub stay_hours_mean: f64,
+    /// Uniform jitter (± hours) on the stay duration.
+    pub stay_jitter_hours: f64,
+    /// Travel speed between home/campus/visits (driving), m/s.
+    pub travel_speed: f64,
+    /// Walking speed within campus, m/s.
+    pub walk_speed: f64,
+    /// How often a node re-picks a building while on campus.
+    pub building_dwell: SimDuration,
+    /// Probability of choosing from the node's preferred-building list
+    /// (when one is set) instead of uniformly; models friend groups
+    /// clustering in the same places.
+    pub preference_strength: f64,
+    /// Number of simulated days.
+    pub days: u64,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            bounds: Bounds::gainesville(),
+            campus_center: Point::new(5_500.0, 4_000.0),
+            campus_buildings: 6,
+            building_spacing: 250.0,
+            weekday_attendance: 0.85,
+            weekend_attendance: 0.25,
+            social_visit_prob: 0.25,
+            visit_minutes_min: 45,
+            visit_minutes_max: 180,
+            arrival_hour_mean: 9.5,
+            arrival_jitter_hours: 1.5,
+            stay_hours_mean: 6.0,
+            stay_jitter_hours: 2.0,
+            travel_speed: 10.0,
+            walk_speed: 1.4,
+            building_dwell: SimDuration::from_mins(75),
+            preference_strength: 0.0,
+            days: 7,
+        }
+    }
+}
+
+/// Generates trajectories for a population following daily schedules.
+#[derive(Clone, Debug)]
+pub struct DailySchedule {
+    config: ScheduleConfig,
+    homes: Vec<Point>,
+    buildings: Vec<Point>,
+    /// Per-node preferred campus buildings (empty = no preference).
+    preferred: Vec<Vec<usize>>,
+    /// Per-node evening-visit targets (empty = anyone).
+    friends: Vec<Vec<usize>>,
+}
+
+impl DailySchedule {
+    /// Creates the generator, sampling each node's home uniformly in the
+    /// bounds and laying campus buildings out on a grid.
+    pub fn new<R: Rng>(config: ScheduleConfig, node_count: usize, rng: &mut R) -> DailySchedule {
+        assert!(node_count > 0, "need at least one node");
+        assert!(config.campus_buildings > 0, "need at least one building");
+        let homes: Vec<Point> = (0..node_count).map(|_| config.bounds.sample(rng)).collect();
+        let cols = (config.campus_buildings as f64).sqrt().ceil() as usize;
+        let buildings: Vec<Point> = (0..config.campus_buildings)
+            .map(|i| {
+                let row = i / cols;
+                let col = i % cols;
+                config.bounds.clamp(Point::new(
+                    config.campus_center.x + (col as f64 - cols as f64 / 2.0) * config.building_spacing,
+                    config.campus_center.y + (row as f64) * config.building_spacing,
+                ))
+            })
+            .collect();
+        DailySchedule {
+            config,
+            homes,
+            buildings,
+            preferred: vec![Vec::new(); node_count],
+            friends: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Home location of `node`.
+    pub fn home(&self, node: usize) -> Point {
+        self.homes[node]
+    }
+
+    /// Campus building locations.
+    pub fn buildings(&self) -> &[Point] {
+        &self.buildings
+    }
+
+    /// Sets the preferred campus buildings per node; with probability
+    /// [`ScheduleConfig::preference_strength`] a node picks its next
+    /// building from this list. Friend groups that share preferences
+    /// co-locate far more often.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outer length differs from the node count or any
+    /// index is out of range.
+    pub fn set_building_preferences(&mut self, preferred: Vec<Vec<usize>>) {
+        assert_eq!(preferred.len(), self.homes.len(), "one list per node");
+        for list in &preferred {
+            for &b in list {
+                assert!(b < self.buildings.len(), "building index out of range");
+            }
+        }
+        self.preferred = preferred;
+    }
+
+    /// Sets the evening-visit targets per node (typically the node's
+    /// friends); an empty list means anyone may be visited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outer length differs from the node count or any
+    /// index is out of range.
+    pub fn set_friends(&mut self, friends: Vec<Vec<usize>>) {
+        assert_eq!(friends.len(), self.homes.len(), "one list per node");
+        for (node, list) in friends.iter().enumerate() {
+            for &f in list {
+                assert!(f < self.homes.len() && f != node, "bad friend index");
+            }
+        }
+        self.friends = friends;
+    }
+
+    fn pick_building<R: Rng>(&self, node: usize, rng: &mut R) -> Point {
+        let preferred = &self.preferred[node];
+        if !preferred.is_empty()
+            && rng.gen_bool(self.config.preference_strength.clamp(0.0, 1.0))
+        {
+            self.buildings[preferred[rng.gen_range(0..preferred.len())]]
+        } else {
+            self.buildings[rng.gen_range(0..self.buildings.len())]
+        }
+    }
+
+    fn pick_visit_target<R: Rng>(&self, node: usize, rng: &mut R) -> usize {
+        let friends = &self.friends[node];
+        if !friends.is_empty() {
+            friends[rng.gen_range(0..friends.len())]
+        } else {
+            let mut target = rng.gen_range(0..self.homes.len());
+            if target == node {
+                target = (target + 1) % self.homes.len();
+            }
+            target
+        }
+    }
+
+    /// Generates the full multi-day trajectory for one node.
+    ///
+    /// `rng` must be a per-node stream (fork the scenario RNG per node)
+    /// so trajectories are independent yet reproducible.
+    pub fn generate<R: Rng>(&self, node: usize, rng: &mut R) -> Trajectory {
+        let cfg = &self.config;
+        let home = self.homes[node];
+        let mut b = TrajectoryBuilder::new(SimTime::ZERO, home);
+
+        for day in 0..cfg.days {
+            let day_start = SimTime::from_hours(day * 24);
+            // Weekdays are day % 7 in 0..5 (the epoch is a Monday).
+            let weekday = day % 7 < 5;
+            let attendance = if weekday {
+                cfg.weekday_attendance
+            } else {
+                cfg.weekend_attendance
+            };
+            if rng.gen_bool(attendance.clamp(0.0, 1.0)) {
+                // Campus day: arrive in the morning, hop between
+                // buildings, go home in the afternoon.
+                let arrive_h = cfg.arrival_hour_mean
+                    + rng.gen_range(-cfg.arrival_jitter_hours..=cfg.arrival_jitter_hours);
+                let stay_h = (cfg.stay_hours_mean
+                    + rng.gen_range(-cfg.stay_jitter_hours..=cfg.stay_jitter_hours))
+                .max(1.0);
+                let arrive = day_start + SimDuration::from_millis((arrive_h * 3.6e6) as u64);
+                let leave = arrive + SimDuration::from_millis((stay_h * 3.6e6) as u64);
+
+                let first_building = self.pick_building(node, rng);
+                // Leave home so that we arrive at `arrive`.
+                let travel = SimDuration::from_millis(
+                    (b.position().distance(&first_building) / cfg.travel_speed * 1000.0) as u64,
+                );
+                let depart = SimTime::from_millis(
+                    arrive.as_millis().saturating_sub(travel.as_millis()),
+                );
+                b.wait_until(depart.max(b.now()));
+                b.travel_to(first_building, cfg.travel_speed);
+                // Hop between buildings until it is time to leave.
+                while b.now() + cfg.building_dwell < leave {
+                    let dwell_end = b.now() + cfg.building_dwell;
+                    b.wait_until(dwell_end);
+                    let next = self.pick_building(node, rng);
+                    if next.distance(&b.position()) > 1.0 {
+                        b.travel_to(next, cfg.walk_speed);
+                    }
+                }
+                b.wait_until(leave);
+                b.travel_to(home, cfg.travel_speed);
+            }
+            // Evening social visit (campus or not): the pairwise contact
+            // channel that dominates weekend dissemination.
+            if self.homes.len() > 1 && rng.gen_bool(cfg.social_visit_prob.clamp(0.0, 1.0)) {
+                let friend = self.pick_visit_target(node, rng);
+                let depart_h = rng.gen_range(17.0..19.5f64);
+                let depart = day_start + SimDuration::from_millis((depart_h * 3.6e6) as u64);
+                b.wait_until(depart.max(b.now()));
+                b.travel_to(self.homes[friend], cfg.travel_speed);
+                let visit_mins = rng.gen_range(
+                    cfg.visit_minutes_min..=cfg.visit_minutes_max.max(cfg.visit_minutes_min),
+                );
+                let visit_end = b.now() + SimDuration::from_mins(visit_mins);
+                b.wait_until(visit_end);
+                b.travel_to(home, cfg.travel_speed);
+            }
+            // Sleep at home until next morning regardless.
+            let next_day = SimTime::from_hours((day + 1) * 24);
+            b.wait_until(next_day.max(b.now()));
+        }
+        b.build()
+    }
+
+    /// Generates trajectories for all nodes from a base seed, forking a
+    /// deterministic per-node stream.
+    pub fn generate_all(&self, base_seed: u64) -> Vec<Trajectory> {
+        use rand::SeedableRng;
+        (0..self.homes.len())
+            .map(|node| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    base_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(node as u64 + 1)),
+                );
+                self.generate(node, &mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn make(nodes: usize, seed: u64) -> (DailySchedule, Vec<Trajectory>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sched = DailySchedule::new(ScheduleConfig::default(), nodes, &mut rng);
+        let trs = sched.generate_all(seed);
+        (sched, trs)
+    }
+
+    #[test]
+    fn nodes_sleep_at_home() {
+        let (sched, trs) = make(5, 3);
+        for (node, tr) in trs.iter().enumerate() {
+            // 3 AM every day: everyone is home.
+            for day in 0..7 {
+                let t = SimTime::from_hours(day * 24 + 3);
+                let pos = tr.position_at(t);
+                assert!(
+                    pos.distance(&sched.home(node)) < 1.0,
+                    "node {node} away from home at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_visit_campus_on_weekdays() {
+        let (sched, trs) = make(8, 4);
+        let campus = sched.buildings()[0];
+        let mut campus_visits = 0;
+        for tr in &trs {
+            for day in 0..5u64 {
+                // Check noon position.
+                let t = SimTime::from_hours(day * 24 + 12);
+                let pos = tr.position_at(t);
+                if pos.distance(&campus) < 2_000.0 {
+                    campus_visits += 1;
+                }
+            }
+        }
+        assert!(
+            campus_visits > 10,
+            "expected regular campus attendance, saw {campus_visits}"
+        );
+    }
+
+    #[test]
+    fn trajectories_stay_in_bounds() {
+        let (sched, trs) = make(6, 9);
+        let bounds = ScheduleConfig::default().bounds;
+        let _ = sched;
+        for tr in &trs {
+            for hour in 0..(7 * 24) {
+                let p = tr.position_at(SimTime::from_hours(hour));
+                assert!(bounds.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, t1) = make(4, 42);
+        let (_, t2) = make(4, 42);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn covers_full_duration() {
+        let (_, trs) = make(3, 1);
+        for tr in &trs {
+            assert!(tr.end_time() >= SimTime::from_hours(7 * 24));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Contact detection: turning trajectories into the pairwise
+//! contact-up / contact-down event stream that drives peer discovery.
+
+use crate::geo::Point;
+use crate::mobility::trace::Trajectory;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Whether a contact came up or went down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContactPhase {
+    /// The pair moved within communication range.
+    Up,
+    /// The pair moved out of communication range.
+    Down,
+}
+
+/// A pairwise contact transition.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContactEvent {
+    /// When the transition was detected (sampled time).
+    pub time: SimTime,
+    /// Lower node index of the pair.
+    pub a: usize,
+    /// Higher node index of the pair.
+    pub b: usize,
+    /// Up or down.
+    pub phase: ContactPhase,
+    /// Distance at detection time, metres.
+    pub distance_m: f64,
+}
+
+/// An interval during which a pair was continuously in range.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContactInterval {
+    /// Lower node index.
+    pub a: usize,
+    /// Higher node index.
+    pub b: usize,
+    /// Start of the contact.
+    pub start: SimTime,
+    /// End of the contact (or the simulation end for open contacts).
+    pub end: SimTime,
+}
+
+impl ContactInterval {
+    /// Contact duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// The simulated world: node trajectories plus a communication range.
+///
+/// Contact detection samples all trajectories on a fixed tick and applies
+/// a range threshold; this mirrors MPC's periodic Bonjour/BLE discovery
+/// scans rather than instantaneous geometric intersection.
+#[derive(Clone, Debug)]
+pub struct World {
+    trajectories: Vec<Trajectory>,
+    range_m: f64,
+    tick: SimDuration,
+}
+
+impl World {
+    /// Creates a world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories` is empty, `range_m` is not positive, or
+    /// `tick` is zero.
+    pub fn new(trajectories: Vec<Trajectory>, range_m: f64, tick: SimDuration) -> World {
+        assert!(!trajectories.is_empty(), "world needs nodes");
+        assert!(range_m > 0.0, "range must be positive");
+        assert!(tick > SimDuration::ZERO, "tick must be positive");
+        World {
+            trajectories,
+            range_m,
+            tick,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Communication range in metres.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Discovery tick.
+    pub fn tick(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// Position of `node` at `t`.
+    pub fn position(&self, node: usize, t: SimTime) -> Point {
+        self.trajectories[node].position_at(t)
+    }
+
+    /// The trajectory of `node`.
+    pub fn trajectory(&self, node: usize) -> &Trajectory {
+        &self.trajectories[node]
+    }
+
+    /// Distance between two nodes at `t`.
+    pub fn distance(&self, a: usize, b: usize, t: SimTime) -> f64 {
+        self.position(a, t).distance(&self.position(b, t))
+    }
+
+    /// True if `a` and `b` are within range at `t`.
+    pub fn in_range(&self, a: usize, b: usize, t: SimTime) -> bool {
+        self.distance(a, b, t) <= self.range_m
+    }
+
+    /// Scans `[start, end]` on the discovery tick and emits every contact
+    /// transition, in time order.
+    pub fn contact_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent> {
+        let n = self.node_count();
+        let mut up = vec![vec![false; n]; n];
+        let mut events = Vec::new();
+        let mut t = start;
+        while t <= end {
+            for a in 0..n {
+                let pa = self.position(a, t);
+                for b in (a + 1)..n {
+                    let d = pa.distance(&self.position(b, t));
+                    let now_up = d <= self.range_m;
+                    if now_up != up[a][b] {
+                        up[a][b] = now_up;
+                        events.push(ContactEvent {
+                            time: t,
+                            a,
+                            b,
+                            phase: if now_up {
+                                ContactPhase::Up
+                            } else {
+                                ContactPhase::Down
+                            },
+                            distance_m: d,
+                        });
+                    }
+                }
+            }
+            t += self.tick;
+        }
+        events
+    }
+
+    /// Collapses the event stream into closed contact intervals.
+    /// Contacts still open at `end` are closed there.
+    pub fn contact_intervals(&self, start: SimTime, end: SimTime) -> Vec<ContactInterval> {
+        let mut open: std::collections::HashMap<(usize, usize), SimTime> =
+            std::collections::HashMap::new();
+        let mut intervals = Vec::new();
+        for ev in self.contact_events(start, end) {
+            match ev.phase {
+                ContactPhase::Up => {
+                    open.insert((ev.a, ev.b), ev.time);
+                }
+                ContactPhase::Down => {
+                    if let Some(s) = open.remove(&(ev.a, ev.b)) {
+                        intervals.push(ContactInterval {
+                            a: ev.a,
+                            b: ev.b,
+                            start: s,
+                            end: ev.time,
+                        });
+                    }
+                }
+            }
+        }
+        for ((a, b), s) in open {
+            intervals.push(ContactInterval {
+                a,
+                b,
+                start: s,
+                end,
+            });
+        }
+        intervals.sort_by_key(|iv| (iv.start, iv.a, iv.b));
+        intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two nodes approaching, meeting, and separating.
+    fn crossing_world() -> World {
+        let a = Trajectory::new(vec![
+            (SimTime::ZERO, Point::new(0.0, 0.0)),
+            (SimTime::from_secs(1000), Point::new(1000.0, 0.0)),
+        ]);
+        let b = Trajectory::new(vec![
+            (SimTime::ZERO, Point::new(1000.0, 0.0)),
+            (SimTime::from_secs(1000), Point::new(0.0, 0.0)),
+        ]);
+        World::new(vec![a, b], 60.0, SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn crossing_nodes_meet_once() {
+        let w = crossing_world();
+        let events = w.contact_events(SimTime::ZERO, SimTime::from_secs(1000));
+        assert_eq!(events.len(), 2, "one up and one down: {events:?}");
+        assert_eq!(events[0].phase, ContactPhase::Up);
+        assert_eq!(events[1].phase, ContactPhase::Down);
+        // They meet at t=500s in the middle; window is ±30 s when closing
+        // at 100 m/s relative speed with a 60 m range.
+        assert!(events[0].time > SimTime::from_secs(400));
+        assert!(events[1].time < SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn intervals_match_events() {
+        let w = crossing_world();
+        let ivs = w.contact_intervals(SimTime::ZERO, SimTime::from_secs(1000));
+        assert_eq!(ivs.len(), 1);
+        assert!(ivs[0].duration() > SimDuration::from_secs(5));
+        assert_eq!((ivs[0].a, ivs[0].b), (0, 1));
+    }
+
+    #[test]
+    fn stationary_pair_always_in_contact() {
+        let w = World::new(
+            vec![
+                Trajectory::stationary(Point::new(0.0, 0.0)),
+                Trajectory::stationary(Point::new(30.0, 0.0)),
+            ],
+            60.0,
+            SimDuration::from_secs(30),
+        );
+        let ivs = w.contact_intervals(SimTime::ZERO, SimTime::from_hours(1));
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].start, SimTime::ZERO);
+        assert_eq!(ivs[0].end, SimTime::from_hours(1));
+    }
+
+    #[test]
+    fn out_of_range_pair_never_in_contact() {
+        let w = World::new(
+            vec![
+                Trajectory::stationary(Point::new(0.0, 0.0)),
+                Trajectory::stationary(Point::new(500.0, 0.0)),
+            ],
+            60.0,
+            SimDuration::from_secs(30),
+        );
+        assert!(w
+            .contact_events(SimTime::ZERO, SimTime::from_hours(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn three_nodes_pairwise() {
+        let w = World::new(
+            vec![
+                Trajectory::stationary(Point::new(0.0, 0.0)),
+                Trajectory::stationary(Point::new(30.0, 0.0)),
+                Trajectory::stationary(Point::new(55.0, 0.0)),
+            ],
+            60.0,
+            SimDuration::from_secs(30),
+        );
+        let ivs = w.contact_intervals(SimTime::ZERO, SimTime::from_secs(60));
+        // 0-1 (30m), 1-2 (25m), 0-2 (55m) all within 60m.
+        assert_eq!(ivs.len(), 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Writing your own routing scheme — the researcher API.
+//!
+//! The paper's core architectural claim (§III-B): "Routing in SOS is
+//! designed for modularity, permitting additional DTN routing schemes to
+//! be developed on top of the message manager [...] Both the IB and
+//! Epidemic routing protocols are written in less than 100 lines of
+//! Swift code."
+//!
+//! This example writes a complete new scheme in ~40 lines of Rust —
+//! "freshness-gated epidemic": pull everything like epidemic, but stop
+//! carrying content older than a configurable age (a practical buffer
+//! policy for news-like workloads). It is installed with
+//! `Sos::set_custom_scheme` without touching any fixed layer, then
+//! compared against stock epidemic in a disaster-zone run.
+//!
+//! Run with `cargo run --release --example custom_scheme`.
+
+use rand::SeedableRng;
+use sos::core::prelude::*;
+use sos::core::routing::RoutingContext;
+use sos::core::Bundle;
+use sos::experiments::driver::{Driver, DriverConfig};
+use sos::net::Advertisement;
+use sos::sim::geo::Bounds;
+use sos::sim::mobility::random_waypoint::RandomWaypoint;
+use sos::sim::radio::RadioTech;
+use sos::sim::{SimDuration, SimTime, World};
+use sos::social::{AlleyOopApp, Cloud};
+use sos_crypto::UserId;
+
+/// Epidemic replication that refuses to carry stale content.
+///
+/// The entire scheme: three trait methods. Nothing below the routing
+/// manager is touched — exactly the extension surface the paper
+/// describes for academic researchers.
+struct FreshnessGatedEpidemic {
+    max_age: SimDuration,
+}
+
+impl RoutingScheme for FreshnessGatedEpidemic {
+    fn name(&self) -> &'static str {
+        "freshness-gated-epidemic"
+    }
+
+    fn interests(&mut self, ctx: &RoutingContext<'_>, ad: &Advertisement) -> Vec<UserId> {
+        // Pull from anyone with news, like epidemic.
+        ad.users_with_news(ctx.summary)
+            .into_iter()
+            .filter(|u| u != ctx.me)
+            .collect()
+    }
+
+    fn should_carry(&mut self, ctx: &RoutingContext<'_>, bundle: &Bundle) -> bool {
+        // ...but only keep forwarding content while it is fresh.
+        ctx.now.since(bundle.message.created_at) <= self.max_age
+    }
+
+    fn should_advertise(&self, ctx: &RoutingContext<'_>, bundle: &Bundle) -> bool {
+        &bundle.message.id.author == ctx.me
+            || ctx.now.since(bundle.message.created_at) <= self.max_age
+    }
+}
+
+const NODES: usize = 20;
+const HOURS: u64 = 8;
+
+fn run(use_custom: bool) -> (usize, u64, f64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut cloud = Cloud::new("CA", [1; 32]);
+    let mut apps: Vec<AlleyOopApp> = (0..NODES)
+        .map(|i| {
+            AlleyOopApp::sign_up(
+                &mut cloud,
+                PeerId(i as u32),
+                &format!("n{i:02}"),
+                SchemeKind::Epidemic,
+                SimTime::ZERO,
+                &mut rng,
+            )
+            .unwrap()
+        })
+        .collect();
+    if use_custom {
+        for app in &mut apps {
+            app.middleware_mut()
+                .set_custom_scheme(Box::new(FreshnessGatedEpidemic {
+                    max_age: SimDuration::from_mins(30),
+                }));
+            assert_eq!(
+                app.middleware().scheme_kind(),
+                SchemeKind::Custom("freshness-gated-epidemic")
+            );
+        }
+    }
+    // Half the nodes follow node 0's alerts; the rest are pure mules
+    // (epidemic carries through them regardless of interest).
+    let broadcaster = apps[0].user_id();
+    let mut followers = vec![Vec::new(); NODES];
+    for (i, app) in apps.iter_mut().enumerate().skip(1) {
+        if i % 2 == 1 {
+            app.follow(broadcaster);
+            followers[0].push(i);
+        }
+    }
+
+    let bounds = Bounds::new(1_500.0, 1_500.0);
+    let rwp = RandomWaypoint::pedestrian(bounds);
+    let trajectories: Vec<_> = (0..NODES)
+        .map(|i| {
+            let mut trng = rand::rngs::StdRng::seed_from_u64(900 + i as u64);
+            rwp.generate(&mut trng, SimDuration::from_hours(HOURS))
+        })
+        .collect();
+    let world = World::new(
+        trajectories,
+        RadioTech::max_range_m(false),
+        SimDuration::from_secs(20),
+    );
+    let mut driver = Driver::new(
+        apps,
+        world,
+        followers,
+        DriverConfig {
+            ad_interval: SimDuration::from_secs(30),
+            infra_available: false,
+            seed: 2,
+        },
+        SimTime::from_hours(HOURS),
+    );
+    for h in 0..HOURS {
+        driver.schedule_post(SimTime::from_hours(h) + SimDuration::from_mins(5), 0);
+    }
+    let (metrics, apps) = driver.run();
+    let transfers = apps
+        .iter()
+        .map(|a| a.middleware().stats().bundles_received)
+        .sum();
+    (
+        metrics.delays.len(),
+        transfers,
+        metrics.delivery.overall_ratio(),
+    )
+}
+
+fn main() {
+    println!("custom routing scheme demo: freshness-gated epidemic vs stock epidemic");
+    println!("({NODES} pedestrians, 1.5x1.5 km, {HOURS} h, hourly broadcast from node 0)");
+    println!();
+    println!("scheme                      deliveries transfers ratio");
+    let (d, t, r) = run(false);
+    println!("epidemic                    {d:>10} {t:>9} {r:>5.3}");
+    let (d, t, r) = run(true);
+    println!("freshness-gated (custom)    {d:>10} {t:>9} {r:>5.3}");
+    println!();
+    println!("the custom scheme trades a little delivery for a bounded carry buffer —");
+    println!("and took ~40 lines, without touching the fixed middleware layers.");
+}

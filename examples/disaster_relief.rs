@@ -1,0 +1,149 @@
+//! Disaster-relief scenario (paper §I motivation): "In natural disaster
+//! situations, Internet and cellular communication infrastructures can
+//! be severely disrupted, prohibiting users from notifying family,
+//! friends, and associates about safety, location, food, water, and
+//! other resources."
+//!
+//! Thirty survivors move through a 2 km × 2 km disaster zone with no
+//! infrastructure at all. An emergency-coordinator account posts
+//! periodic resource bulletins everyone subscribes to; survivors post
+//! safety check-ins their family groups subscribe to. We compare
+//! epidemic and interest-based routing on identical mobility.
+//!
+//! Run with `cargo run --release --example disaster_relief`.
+
+use rand::SeedableRng;
+use sos::core::prelude::*;
+use sos::experiments::driver::{Driver, DriverConfig};
+use sos::sim::geo::Bounds;
+use sos::sim::mobility::random_waypoint::RandomWaypoint;
+use sos::sim::radio::RadioTech;
+use sos::sim::{SimDuration, SimTime, World};
+use sos::social::{AlleyOopApp, Cloud};
+
+const SURVIVORS: usize = 30;
+const FAMILY_SIZE: usize = 5;
+const HOURS: u64 = 12;
+
+fn build_apps(scheme: SchemeKind, rng: &mut rand::rngs::StdRng) -> Vec<AlleyOopApp> {
+    let mut cloud = Cloud::new("Emergency CA", [9; 32]);
+    let mut apps: Vec<AlleyOopApp> = (0..SURVIVORS)
+        .map(|i| {
+            let handle = if i == 0 {
+                "coord".to_string()
+            } else {
+                format!("person-{i:02}")
+            };
+            AlleyOopApp::sign_up(&mut cloud, PeerId(i as u32), &handle, scheme, SimTime::ZERO, rng)
+                .expect("unique handles")
+        })
+        .collect();
+    // Everyone follows the coordinator's bulletins; families follow each
+    // other's check-ins.
+    let coord = apps[0].user_id();
+    for i in 1..SURVIVORS {
+        let uid = apps[i].user_id();
+        apps[i].follow(coord);
+        let family = (i - 1) / FAMILY_SIZE;
+        for j in 1..SURVIVORS {
+            if j != i && (j - 1) / FAMILY_SIZE == family {
+                let friend = apps[j].user_id();
+                apps[i].follow(friend);
+                let _ = uid;
+            }
+        }
+    }
+    apps
+}
+
+fn run(scheme: SchemeKind) -> (usize, u64, f64, f64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let apps = build_apps(scheme, &mut rng);
+
+    // Survivors wander the disaster zone on foot.
+    let bounds = Bounds::new(2_000.0, 2_000.0);
+    let rwp = RandomWaypoint::pedestrian(bounds);
+    let trajectories: Vec<_> = (0..SURVIVORS)
+        .map(|i| {
+            let mut trng = rand::rngs::StdRng::seed_from_u64(5000 + i as u64);
+            rwp.generate(&mut trng, SimDuration::from_hours(HOURS))
+        })
+        .collect();
+    // No infrastructure WiFi: peer-to-peer radios only.
+    let world = World::new(
+        trajectories,
+        RadioTech::max_range_m(false),
+        SimDuration::from_secs(15),
+    );
+
+    // Interest map for delivery accounting.
+    let mut followers: Vec<Vec<usize>> = vec![Vec::new(); SURVIVORS];
+    for i in 1..SURVIVORS {
+        followers[0].push(i); // coordinator bulletins
+        let family = (i - 1) / FAMILY_SIZE;
+        for j in 1..SURVIVORS {
+            if j != i && (j - 1) / FAMILY_SIZE == family {
+                followers[j].push(i);
+            }
+        }
+    }
+
+    let end = SimTime::from_hours(HOURS);
+    let mut driver = Driver::new(
+        apps,
+        world,
+        followers,
+        DriverConfig {
+            ad_interval: SimDuration::from_secs(30),
+            infra_available: false,
+            seed: 99,
+        },
+        end,
+    );
+    // Coordinator bulletin every 2 h; each survivor checks in twice.
+    let mut post_rng = rand::rngs::StdRng::seed_from_u64(77);
+    for h in (1..HOURS).step_by(2) {
+        driver.schedule_post(SimTime::from_hours(h), 0);
+    }
+    for i in 1..SURVIVORS {
+        for _ in 0..2 {
+            use rand::Rng;
+            let at = SimTime::from_millis(post_rng.gen_range(0..end.as_millis()));
+            driver.schedule_post(at, i);
+        }
+    }
+
+    let (metrics, apps) = driver.run();
+    let transfers: u64 = apps
+        .iter()
+        .map(|a| a.middleware().stats().bundles_received)
+        .sum();
+    let cdf = metrics.delays.cdf_all_hours();
+    let median = if cdf.is_empty() { f64::NAN } else { cdf.quantile(0.5) };
+    (
+        metrics.delays.len(),
+        transfers,
+        metrics.delivery.overall_ratio(),
+        median,
+    )
+}
+
+fn main() {
+    println!("disaster relief: {SURVIVORS} survivors, 2x2 km zone, {HOURS} h, no infrastructure");
+    println!();
+    println!("scheme            deliveries transfers delivery-ratio median-delay");
+    for scheme in [SchemeKind::Epidemic, SchemeKind::InterestBased, SchemeKind::Direct] {
+        let (deliveries, transfers, ratio, median_h) = run(scheme);
+        println!(
+            "{:<17} {:>10} {:>9} {:>14.3} {:>11.2}h",
+            scheme.name(),
+            deliveries,
+            transfers,
+            ratio,
+            median_h
+        );
+    }
+    println!();
+    println!("expected shape: epidemic maximises delivery at the cost of transfers;");
+    println!("interest-based approaches it with far less replication; direct trails.");
+}

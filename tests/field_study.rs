@@ -1,0 +1,100 @@
+//! Integration checks on the headline reproduction: the Fig. 4a graph
+//! statistics must match the paper exactly (they are deterministic), and
+//! a reduced field study must show the paper's qualitative shape.
+
+use sos::experiments::scenario::{run_field_study, small_test_config, FieldStudyConfig};
+use sos::experiments::social;
+use sos::graph::SocialGraphReport;
+
+#[test]
+fn fig4a_statistics_match_paper() {
+    let report = social::field_study_report();
+    assert_eq!(report.nodes, 10);
+    assert_eq!(report.subscriptions, 46, "paper: 46 subscriptions");
+    assert!((report.density - 0.64).abs() < 0.01, "paper: density 0.64");
+    assert_eq!(report.diameter, 2, "paper: diameter 2");
+    assert_eq!(report.radius, 1, "paper: radius 1");
+    assert_eq!(
+        report.center,
+        vec![social::CENTER_A, social::CENTER_B],
+        "paper: centers 6 and 7"
+    );
+    assert!(
+        (report.average_shortest_path - 1.3).abs() < 0.1,
+        "paper: avg path 1.3, got {}",
+        report.average_shortest_path
+    );
+    assert!(
+        (report.transitivity - 0.80).abs() < 0.05,
+        "paper: transitivity 0.80, got {}",
+        report.transitivity
+    );
+}
+
+#[test]
+fn digraph_is_consistent_with_its_report() {
+    let g = social::field_study_digraph();
+    let direct = SocialGraphReport::compute(&g);
+    assert_eq!(direct, social::field_study_report());
+    // The paper's explicit asymmetric example: node 1 follows node 3.
+    assert!(g.has_edge(0, 2) && !g.has_edge(2, 0));
+}
+
+#[test]
+fn reduced_field_study_has_paper_shape() {
+    // Use the default scheme (interest-based).
+    let outcome = run_field_study(&small_test_config(123, FieldStudyConfig::default().scheme));
+    let m = &outcome.metrics;
+    assert_eq!(m.posts, 40);
+    // The paper's qualitative findings, scaled down:
+    // 1. most deliveries happen at one hop;
+    assert!(
+        outcome.one_hop_fraction() > 0.5,
+        "one-hop majority violated: {}",
+        outcome.one_hop_fraction()
+    );
+    // 2. the delay CDFs for 1-hop and All nearly coincide;
+    let all = m.delays.cdf_all_hours();
+    let one = m.delays.cdf_one_hop_hours();
+    if !all.is_empty() && !one.is_empty() {
+        let diff = (all.fraction_le(24.0) - one.fraction_le(24.0)).abs();
+        assert!(diff < 0.25, "CDFs diverged by {diff}");
+    }
+    // 3. there are both fast and slow deliveries (delay spread).
+    assert!(all.min().unwrap() < all.max().unwrap());
+}
+
+#[test]
+fn seed_determinism_across_processes() {
+    let cfg = small_test_config(777, sos::core::SchemeKind::InterestBased);
+    let a = run_field_study(&cfg);
+    let b = run_field_study(&cfg);
+    assert_eq!(a.transfers(), b.transfers());
+    assert_eq!(a.metrics.frames_sent, b.metrics.frames_sent);
+    assert_eq!(a.metrics.frames_lost, b.metrics.frames_lost);
+    assert_eq!(
+        a.metrics.delivery.overall_ratio(),
+        b.metrics.delivery.overall_ratio()
+    );
+}
+
+#[test]
+fn map_events_stay_in_area() {
+    let outcome = run_field_study(&small_test_config(9, sos::core::SchemeKind::InterestBased));
+    for ev in &outcome.metrics.map {
+        assert!(ev.x >= 0.0 && ev.x <= 11_000.0, "x out of area: {}", ev.x);
+        assert!(ev.y >= 0.0 && ev.y <= 8_000.0, "y out of area: {}", ev.y);
+    }
+    // Both colours of Fig. 4b appear.
+    use sos::experiments::driver::MapEventKind;
+    assert!(outcome
+        .metrics
+        .map
+        .iter()
+        .any(|e| e.kind == MapEventKind::Created));
+    assert!(outcome
+        .metrics
+        .map
+        .iter()
+        .any(|e| e.kind == MapEventKind::Disseminated));
+}
