@@ -447,7 +447,12 @@ mod tests {
             .expect("learned from bob's bundle");
 
         // Alice DMs bob through the DTN.
-        alice.send_direct(&mut r, &bob_cert, "secret rendezvous", SimTime::from_secs(10));
+        alice.send_direct(
+            &mut r,
+            &bob_cert,
+            "secret rendezvous",
+            SimTime::from_secs(10),
+        );
         pump(&mut alice, &mut bob, SimTime::from_secs(11));
         bob.process_events_at(SimTime::from_secs(11));
         assert_eq!(bob.inbox().len(), 1);
@@ -477,7 +482,10 @@ mod tests {
         pump(&mut alice, &mut bob, SimTime::from_secs(6));
         bob.process_events_at(SimTime::from_secs(6));
         assert_eq!(bob.inbox().len(), 1);
-        assert!(alice.inbox().is_empty(), "sender cannot decrypt own sealed DM");
+        assert!(
+            alice.inbox().is_empty(),
+            "sender cannot decrypt own sealed DM"
+        );
     }
 
     #[test]

@@ -226,8 +226,12 @@ mod tests {
         let (sk2, ak2) = keys(2);
         let alice = UserId::from_str_padded("alice");
         let bob = UserId::from_str_padded("bob");
-        cloud.sign_up(alice, "Alice", sk1.verifying_key(), *ak1.public(), 0).unwrap();
-        cloud.sign_up(bob, "Bob", sk2.verifying_key(), *ak2.public(), 0).unwrap();
+        cloud
+            .sign_up(alice, "Alice", sk1.verifying_key(), *ak1.public(), 0)
+            .unwrap();
+        cloud
+            .sign_up(bob, "Bob", sk2.verifying_key(), *ak2.public(), 0)
+            .unwrap();
         cloud.record_follow(bob, alice).unwrap();
         assert!(cloud.follows_of(&bob).contains(&alice));
         cloud.record_unfollow(bob, alice);

@@ -169,7 +169,11 @@ mod tests {
         db.insert_post(post("bob", 2, 0, 1));
         db.insert_post(post("alice", 2, 0, 1));
         db.insert_post(post("alice", 1, 0, 1));
-        let got: Vec<u64> = db.posts_by(&uid("alice")).iter().map(|p| p.id.number).collect();
+        let got: Vec<u64> = db
+            .posts_by(&uid("alice"))
+            .iter()
+            .map(|p| p.id.number)
+            .collect();
         assert_eq!(got, vec![1, 2]);
     }
 

@@ -14,7 +14,10 @@ use std::collections::{BTreeMap, BTreeSet};
 fn make_ad(entries: usize) -> Advertisement {
     let mut ad = Advertisement::new(PeerId(1), UserId::from_str_padded("peer"));
     for i in 0..entries {
-        ad.insert(UserId::from_str_padded(&format!("user-{i:03}")), i as u64 + 5);
+        ad.insert(
+            UserId::from_str_padded(&format!("user-{i:03}")),
+            i as u64 + 5,
+        );
     }
     ad
 }

@@ -37,7 +37,9 @@ fn bench_store(c: &mut Criterion) {
     );
 
     c.bench_function("store/insert_1000", |b| {
-        let bundles: Vec<Bundle> = (1..=1000).map(|n| make_bundle(&sk, &cert, "alice", n)).collect();
+        let bundles: Vec<Bundle> = (1..=1000)
+            .map(|n| make_bundle(&sk, &cert, "alice", n))
+            .collect();
         b.iter(|| {
             let mut store = MessageStore::new();
             for bundle in &bundles {
@@ -65,7 +67,11 @@ fn bench_store(c: &mut Criterion) {
     c.bench_function("bundle/verify", |b| {
         let validator = sos_crypto::Validator::new(ca.root_certificate().clone());
         let bundle = make_bundle(&sk, &cert, "alice", 1);
-        b.iter(|| std::hint::black_box(&bundle).verify(&validator, 10).is_err())
+        b.iter(|| {
+            std::hint::black_box(&bundle)
+                .verify(&validator, 10)
+                .is_err()
+        })
     });
 }
 

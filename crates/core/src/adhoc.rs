@@ -256,7 +256,9 @@ mod tests {
         // Bob's init arrives while Alice already initiated to him.
         let bob_init = bob.connect(PeerId(0), &mut rng).unwrap();
         assert_eq!(
-            alice.on_frame(PeerId(1), bob_init, 0, &mut rng).unwrap_err(),
+            alice
+                .on_frame(PeerId(1), bob_init, 0, &mut rng)
+                .unwrap_err(),
             NetError::UnexpectedHandshake
         );
         // Alice's original (initiator) session survives the refusal.

@@ -20,9 +20,7 @@ pub const MAX_PAYLOAD: usize = 64 * 1024;
 ///
 /// This is exactly the granularity of the plain-text advertisement
 /// dictionary (`UserID → MessageNumber`, §V-A).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct MessageId {
     /// The author's 10-byte user id.
     pub author: UserId,

@@ -317,7 +317,11 @@ impl Sos {
     /// mechanism).
     pub fn on_peer_lost(&mut self, peer: PeerId) {
         self.pending_interests.remove(&peer);
-        if self.adhoc.close(peer, DisconnectReason::OutOfRange).is_some() {
+        if self
+            .adhoc
+            .close(peer, DisconnectReason::OutOfRange)
+            .is_some()
+        {
             self.events.push_back(SosEvent::SessionClosed { peer });
         }
     }
@@ -437,7 +441,8 @@ impl Sos {
             }
             Ok(SessionEvent::Closed(_)) => {
                 self.pending_interests.remove(&from);
-                self.events.push_back(SosEvent::SessionClosed { peer: from });
+                self.events
+                    .push_back(SosEvent::SessionClosed { peer: from });
             }
             Ok(SessionEvent::None) => {}
             Err(NetError::NotConnected) => {
@@ -459,7 +464,9 @@ impl Sos {
             Err(e) => {
                 let security = matches!(
                     e,
-                    NetError::Certificate(_) | NetError::BadHandshakeSignature | NetError::Crypto(_)
+                    NetError::Certificate(_)
+                        | NetError::BadHandshakeSignature
+                        | NetError::Crypto(_)
                 );
                 if security {
                     self.stats.security_rejections += 1;
@@ -468,7 +475,8 @@ impl Sos {
                         detail: e.to_string(),
                     });
                 } else {
-                    self.events.push_back(SosEvent::SessionClosed { peer: from });
+                    self.events
+                        .push_back(SosEvent::SessionClosed { peer: from });
                 }
                 self.pending_interests.remove(&from);
                 out.push((
@@ -521,7 +529,8 @@ impl Sos {
                 if let Some(bye) = self.adhoc.close(from, DisconnectReason::ProtocolError) {
                     out.push((from, bye));
                 }
-                self.events.push_back(SosEvent::SessionClosed { peer: from });
+                self.events
+                    .push_back(SosEvent::SessionClosed { peer: from });
                 return;
             }
         };
@@ -532,7 +541,8 @@ impl Sos {
                 if let Some(bye) = self.adhoc.close(from, DisconnectReason::Done) {
                     out.push((from, bye));
                 }
-                self.events.push_back(SosEvent::SessionClosed { peer: from });
+                self.events
+                    .push_back(SosEvent::SessionClosed { peer: from });
             }
         }
     }
@@ -601,6 +611,10 @@ impl Sos {
         let id = bundle.message.id;
         if self.store.contains(&id) {
             self.stats.bundles_duplicate += 1;
+            // A duplicate that arrived over a shorter path still
+            // improves what we know (and relay) about the message:
+            // keep the minimum hop count.
+            self.store.insert(bundle);
             return;
         }
         let me = self.user_id();
@@ -646,7 +660,13 @@ mod tests {
         )
     }
 
-    fn node(ca: &mut CertificateAuthority, idx: u32, seed: u8, name: &str, kind: SchemeKind) -> Sos {
+    fn node(
+        ca: &mut CertificateAuthority,
+        idx: u32,
+        seed: u8,
+        name: &str,
+        kind: SchemeKind,
+    ) -> Sos {
         Sos::new(PeerId(idx), identity(ca, seed, name), kind)
     }
 
@@ -700,11 +720,53 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_bundle_lowers_stored_hop_count() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut bob = node(&mut ca, 1, 10, "bob", SchemeKind::Epidemic);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let alice = uid("alice");
+        let cert = ca.issue(alice, "alice", sk.verifying_key(), *ak.public(), 0);
+        let msg = SosMessage::create(
+            &sk,
+            alice,
+            1,
+            SimTime::from_secs(1),
+            MessageKind::Post,
+            b"hello".to_vec(),
+        );
+        let id = msg.id;
+        let mut far = Bundle::new(msg, cert);
+        far.hops = 5;
+        let near = {
+            let mut b = far.clone();
+            b.hops = 0;
+            b
+        };
+
+        // First copy arrives over a long path: stored with hops 5+1.
+        bob.receive_bundle(PeerId(9), far, SimTime::from_secs(2));
+        assert_eq!(bob.store.get(&id).unwrap().hops, 6);
+
+        // The same bundle straight from the author must lower the
+        // stored count through the *middleware* duplicate path, not
+        // just via MessageStore::insert in isolation.
+        bob.receive_bundle(PeerId(9), near, SimTime::from_secs(3));
+        assert_eq!(bob.stats().bundles_duplicate, 1);
+        assert_eq!(bob.store.get(&id).unwrap().hops, 1);
+        assert_eq!(bob.store.len(), 1);
+    }
+
+    #[test]
     fn post_assigns_sequential_numbers() {
         let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
-        let id1 = alice.post(MessageKind::Post, b"one".to_vec(), SimTime::ZERO).unwrap();
-        let id2 = alice.post(MessageKind::Post, b"two".to_vec(), SimTime::ZERO).unwrap();
+        let id1 = alice
+            .post(MessageKind::Post, b"one".to_vec(), SimTime::ZERO)
+            .unwrap();
+        let id2 = alice
+            .post(MessageKind::Post, b"two".to_vec(), SimTime::ZERO)
+            .unwrap();
         assert_eq!(id1.number, 1);
         assert_eq!(id2.number, 2);
         assert_eq!(alice.store().len(), 2);
@@ -725,8 +787,12 @@ mod tests {
     fn advertisement_reflects_store() {
         let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
-        alice.post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO).unwrap();
-        alice.post(MessageKind::Post, b"y".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
+        alice
+            .post(MessageKind::Post, b"y".to_vec(), SimTime::ZERO)
+            .unwrap();
         let ad = alice.advertisement(SimTime::ZERO);
         assert_eq!(ad.latest_for(&uid("alice")), Some(2));
     }
@@ -739,16 +805,18 @@ mod tests {
         bob.subscribe(uid("alice"));
 
         let t = SimTime::from_secs(100);
-        alice.post(MessageKind::Post, b"hello followers".to_vec(), t).unwrap();
+        alice
+            .post(MessageKind::Post, b"hello followers".to_vec(), t)
+            .unwrap();
         browse(&mut alice, &mut bob, t);
 
         let events = bob.poll_events();
         let received: Vec<_> = events
             .iter()
             .filter_map(|e| match e {
-                SosEvent::MessageReceived { id, payload, hops, .. } => {
-                    Some((id.author, payload.clone(), *hops))
-                }
+                SosEvent::MessageReceived {
+                    id, payload, hops, ..
+                } => Some((id.author, payload.clone(), *hops)),
                 _ => None,
             })
             .collect();
@@ -770,7 +838,9 @@ mod tests {
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::InterestBased);
         let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::InterestBased);
         // bob does NOT subscribe to alice.
-        alice.post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::ZERO);
         assert_eq!(bob.store().len(), 0);
         assert_eq!(bob.stats().bundles_received, 0);
@@ -782,9 +852,15 @@ mod tests {
         let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
         let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
-        alice.post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::ZERO);
-        assert_eq!(bob.store().len(), 1, "epidemic carries without subscription");
+        assert_eq!(
+            bob.store().len(),
+            1,
+            "epidemic carries without subscription"
+        );
     }
 
     #[test]
@@ -798,7 +874,9 @@ mod tests {
         carol.subscribe(uid("alice"));
 
         let t = SimTime::from_secs(10);
-        alice.post(MessageKind::Post, b"multi hop".to_vec(), t).unwrap();
+        alice
+            .post(MessageKind::Post, b"multi hop".to_vec(), t)
+            .unwrap();
         browse(&mut alice, &mut bob, t);
         assert_eq!(bob.store().latest_for(&uid("alice")), 1);
 
@@ -831,13 +909,19 @@ mod tests {
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::InterestBased);
         let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::InterestBased);
         bob.subscribe(uid("alice"));
-        alice.post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::ZERO);
         assert_eq!(bob.store().len(), 1);
         // Second encounter: bob's summary now matches, no new session.
         let before = bob.stats().sessions_initiated;
         browse(&mut alice, &mut bob, SimTime::from_secs(60));
-        assert_eq!(bob.stats().sessions_initiated, before, "no news, no session");
+        assert_eq!(
+            bob.stats().sessions_initiated,
+            before,
+            "no news, no session"
+        );
         assert_eq!(bob.stats().bundles_duplicate, 0);
     }
 
@@ -857,7 +941,9 @@ mod tests {
         let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
         // Alice posts, then we tamper with her stored bundle's payload
         // to simulate a corrupted/malicious forwarder.
-        alice.post(MessageKind::Post, b"genuine".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"genuine".to_vec(), SimTime::ZERO)
+            .unwrap();
         let id = MessageId {
             author: uid("alice"),
             number: 1,
@@ -887,8 +973,12 @@ mod tests {
 
         // Bob (a forwarder) picks up two of alice's posts, then his
         // device corrupts the first one.
-        alice.post(MessageKind::Post, b"one".to_vec(), SimTime::ZERO).unwrap();
-        alice.post(MessageKind::Post, b"two".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"one".to_vec(), SimTime::ZERO)
+            .unwrap();
+        alice
+            .post(MessageKind::Post, b"two".to_vec(), SimTime::ZERO)
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::from_secs(10));
         assert_eq!(bob.store().latest_for(&uid("alice")), 2);
         bob.store
@@ -909,7 +999,9 @@ mod tests {
 
         // Alice posts again; bob picks it up; carol now refuses bob as a
         // forwarder...
-        alice.post(MessageKind::Post, b"three".to_vec(), SimTime::from_secs(30)).unwrap();
+        alice
+            .post(MessageKind::Post, b"three".to_vec(), SimTime::from_secs(30))
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::from_secs(40));
         let before = carol.stats().sessions_initiated;
         browse(&mut bob, &mut carol, SimTime::from_secs(50));
@@ -929,18 +1021,30 @@ mod tests {
         let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
         let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
-        alice.post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
         // Bob starts a session but the peer vanishes before the reply.
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let ad = alice.advertisement(SimTime::ZERO);
-        let out = bob.handle_frame(alice.peer_id(), Frame::Advertisement(ad), SimTime::ZERO, &mut rng);
+        let out = bob.handle_frame(
+            alice.peer_id(),
+            Frame::Advertisement(ad),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(bob.session_count(), 1);
         bob.on_peer_lost(alice.peer_id());
         assert_eq!(bob.session_count(), 0);
         // Retry works after loss.
         let ad = alice.advertisement(SimTime::ZERO);
-        let out = bob.handle_frame(alice.peer_id(), Frame::Advertisement(ad), SimTime::ZERO, &mut rng);
+        let out = bob.handle_frame(
+            alice.peer_id(),
+            Frame::Advertisement(ad),
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(out.len(), 1, "can reconnect after peer loss");
     }
 
@@ -958,8 +1062,11 @@ mod tests {
             },
         );
         // Bob authors one message and carries one of alice's.
-        bob.post(MessageKind::Post, b"mine".to_vec(), SimTime::ZERO).unwrap();
-        alice.post(MessageKind::Post, b"gossip".to_vec(), SimTime::ZERO).unwrap();
+        bob.post(MessageKind::Post, b"mine".to_vec(), SimTime::ZERO)
+            .unwrap();
+        alice
+            .post(MessageKind::Post, b"gossip".to_vec(), SimTime::ZERO)
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::from_secs(60));
         assert_eq!(bob.store().len(), 2);
         // Two days later, maintenance drops alice's stale bundle but not
@@ -999,7 +1106,11 @@ mod tests {
             SimTime::from_secs(200),
             &mut rng,
         );
-        assert!(bob.store().len() <= 5, "cap enforced, got {}", bob.store().len());
+        assert!(
+            bob.store().len() <= 5,
+            "cap enforced, got {}",
+            bob.store().len()
+        );
     }
 
     #[test]
@@ -1007,7 +1118,9 @@ mod tests {
         let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
         let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
         let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
-        alice.post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO).unwrap();
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
         browse(&mut alice, &mut bob, SimTime::ZERO);
         // Bob now carries alice's message; alice must not re-pull it.
         let before = alice.stats().sessions_initiated;

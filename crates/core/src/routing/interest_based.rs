@@ -168,7 +168,7 @@ mod tests {
         // the advertised latest (6), which is new.
         let got = scheme.interests(&owned.ctx(), &ad("bob", &[("alice", 6)]));
         assert!(got.is_empty(), "new number restarts the race");
-        owned.now = owned.now + SimDuration::from_mins(121);
+        owned.now += SimDuration::from_mins(121);
         let got = scheme.interests(&owned.ctx(), &ad("bob", &[("alice", 6)]));
         assert_eq!(got, vec![uid("alice")]);
     }

@@ -82,8 +82,7 @@ impl RoutingScheme for InterestPredictive {
 
     fn should_carry(&mut self, ctx: &RoutingContext<'_>, bundle: &Bundle) -> bool {
         let author = &bundle.message.id.author;
-        ctx.subscriptions.contains(author)
-            || self.decayed_score(author, ctx.now) >= self.threshold
+        ctx.subscriptions.contains(author) || self.decayed_score(author, ctx.now) >= self.threshold
     }
 
     fn on_peer_request(&mut self, _peer_user: &UserId, author: &UserId, now: SimTime) {

@@ -86,7 +86,7 @@ impl RoutingScheme for SprayAndWait {
         {
             return true;
         }
-        bundle.copies.map_or(true, |c| c > 1)
+        bundle.copies.is_none_or(|c| c > 1)
     }
 }
 

@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 pub enum InsertOutcome {
     /// The bundle was new and stored.
     New,
-    /// A copy was already held (the incoming copy is dropped; the stored
-    /// copy keeps its original hop count, which is never larger).
+    /// A copy was already held (the incoming payload is dropped; the
+    /// stored copy's hop count is lowered to the minimum of the two, so
+    /// it never overstates the best-known path length).
     Duplicate,
 }
 
@@ -31,15 +32,22 @@ impl MessageStore {
         MessageStore::default()
     }
 
-    /// Inserts a bundle, deduplicating by [`MessageId`].
+    /// Inserts a bundle, deduplicating by [`MessageId`]. On a
+    /// duplicate, the stored copy keeps the minimum hop count of the
+    /// two copies — a later arrival over a shorter path must not be
+    /// reported (or relayed onward) with the stale, larger count.
     pub fn insert(&mut self, bundle: Bundle) -> InsertOutcome {
         let id = bundle.message.id;
         let per_author = self.by_author.entry(id.author).or_default();
-        if per_author.contains_key(&id.number) {
-            InsertOutcome::Duplicate
-        } else {
-            per_author.insert(id.number, bundle);
-            InsertOutcome::New
+        match per_author.get_mut(&id.number) {
+            Some(held) => {
+                held.hops = held.hops.min(bundle.hops);
+                InsertOutcome::Duplicate
+            }
+            None => {
+                per_author.insert(id.number, bundle);
+                InsertOutcome::New
+            }
         }
     }
 
@@ -213,6 +221,28 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_keeps_minimum_hop_count() {
+        let mut store = MessageStore::new();
+        let mut far = bundle("alice", 1);
+        far.hops = 5;
+        let id = far.message.id;
+        assert_eq!(store.insert(far), InsertOutcome::New);
+
+        // A copy that travelled a shorter path lowers the stored count.
+        let mut near = bundle("alice", 1);
+        near.hops = 2;
+        assert_eq!(store.insert(near), InsertOutcome::Duplicate);
+        assert_eq!(store.get(&id).unwrap().hops, 2);
+
+        // A worse copy never raises it back.
+        let mut worse = bundle("alice", 1);
+        worse.hops = 9;
+        assert_eq!(store.insert(worse), InsertOutcome::Duplicate);
+        assert_eq!(store.get(&id).unwrap().hops, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn latest_tracks_max() {
         let mut store = MessageStore::new();
         store.insert(bundle("alice", 2));
@@ -239,7 +269,7 @@ mod tests {
         let mut b = bundle("alice", 1);
         b.copies = Some(1);
         store.insert(b);
-        let summary = store.summary_filtered(|b| b.copies.map_or(true, |c| c > 1));
+        let summary = store.summary_filtered(|b| b.copies.is_none_or(|c| c > 1));
         assert!(summary.is_empty());
     }
 
@@ -265,9 +295,7 @@ mod tests {
         }
         store.insert(bundle("bob", 1));
         let me = UserId::from_str_padded("bob");
-        let evicted = store.evict_older_than(SimTime::from_secs(4), |b| {
-            b.message.id.author == me
-        });
+        let evicted = store.evict_older_than(SimTime::from_secs(4), |b| b.message.id.author == me);
         // alice 1,2,3 evicted; alice 4,5 kept (fresh); bob 1 kept (mine).
         assert_eq!(evicted, 3);
         assert_eq!(store.len(), 3);

@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn done_roundtrip() {
-        assert_eq!(SyncMsg::decode(&SyncMsg::Done.encode()).unwrap(), SyncMsg::Done);
+        assert_eq!(
+            SyncMsg::decode(&SyncMsg::Done.encode()).unwrap(),
+            SyncMsg::Done
+        );
     }
 
     #[test]
@@ -140,7 +143,10 @@ mod tests {
     fn garbage_rejected() {
         assert_eq!(SyncMsg::decode(&[]).unwrap_err(), SosError::Malformed);
         assert_eq!(SyncMsg::decode(&[99]).unwrap_err(), SosError::Malformed);
-        assert_eq!(SyncMsg::decode(&[TAG_DONE, 1]).unwrap_err(), SosError::Malformed);
+        assert_eq!(
+            SyncMsg::decode(&[TAG_DONE, 1]).unwrap_err(),
+            SosError::Malformed
+        );
         assert_eq!(
             SyncMsg::decode(&[TAG_REQUEST, 2, 0, 1]).unwrap_err(),
             SosError::Malformed

@@ -192,7 +192,8 @@ impl Certificate {
         let serial = r.u64()?;
         let mut subject = [0u8; 10];
         subject.copy_from_slice(r.take(10)?);
-        let display_name = String::from_utf8(r.var()?.to_vec()).map_err(|_| CertError::Malformed)?;
+        let display_name =
+            String::from_utf8(r.var()?.to_vec()).map_err(|_| CertError::Malformed)?;
         let mut ed = [0u8; 32];
         ed.copy_from_slice(r.take(32)?);
         let mut x = [0u8; 32];
@@ -200,8 +201,7 @@ impl Certificate {
         let issuer = String::from_utf8(r.var()?.to_vec()).map_err(|_| CertError::Malformed)?;
         let not_before = r.u64()?;
         let not_after = r.u64()?;
-        let signature =
-            Signature::from_slice(r.take(64)?).ok_or(CertError::Malformed)?;
+        let signature = Signature::from_slice(r.take(64)?).ok_or(CertError::Malformed)?;
         if !r.done() {
             return Err(CertError::Malformed);
         }
@@ -343,7 +343,10 @@ mod tests {
     #[test]
     fn user_id_display() {
         assert_eq!(UserId::from_str_padded("alice").display(), "alice");
-        assert_eq!(UserId::from_str_padded("a-very-long-name").display(), "a-very-lon");
+        assert_eq!(
+            UserId::from_str_padded("a-very-long-name").display(),
+            "a-very-lon"
+        );
         assert_eq!(UserId([0u8; 10]).display(), "");
     }
 

@@ -123,8 +123,8 @@ impl Fe {
     /// Field addition.
     pub fn add(&self, rhs: &Fe) -> Fe {
         let mut t = [0u64; 5];
-        for i in 0..5 {
-            t[i] = self.0[i] + rhs.0[i];
+        for (i, limb) in t.iter_mut().enumerate() {
+            *limb = self.0[i] + rhs.0[i];
         }
         Fe(Self::weak_reduce(t))
     }

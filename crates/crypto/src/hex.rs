@@ -28,7 +28,7 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
         let v = c.to_digit(16).ok_or(CryptoError::InvalidHex)?;
         nibbles.push(v as u8);
     }
-    if nibbles.len() % 2 != 0 {
+    if !nibbles.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidHex);
     }
     Ok(nibbles

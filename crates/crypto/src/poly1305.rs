@@ -18,7 +18,9 @@ pub struct Poly1305 {
 
 impl std::fmt::Debug for Poly1305 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Poly1305").field("buf_len", &self.buf_len).finish_non_exhaustive()
+        f.debug_struct("Poly1305")
+            .field("buf_len", &self.buf_len)
+            .finish_non_exhaustive()
     }
 }
 
@@ -27,12 +29,8 @@ impl Poly1305 {
     pub fn new(key: &[u8; 32]) -> Self {
         let mut le = [0u32; 8];
         for i in 0..8 {
-            le[i] = u32::from_le_bytes([
-                key[4 * i],
-                key[4 * i + 1],
-                key[4 * i + 2],
-                key[4 * i + 3],
-            ]);
+            le[i] =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
         }
         // Clamp r per the RFC and split into 26-bit limbs.
         let r = [
@@ -219,7 +217,10 @@ mod tests {
     fn zero_key_zero_msg() {
         let key = [0u8; 32];
         let msg = [0u8; 64];
-        assert_eq!(hex::encode(&poly1305(&key, &msg)), "00000000000000000000000000000000");
+        assert_eq!(
+            hex::encode(&poly1305(&key, &msg)),
+            "00000000000000000000000000000000"
+        );
     }
 
     // Hand-derived edge case: r = 1, s = 0. Blocks (with the 2^128 pad bit)

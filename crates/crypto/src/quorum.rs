@@ -149,7 +149,8 @@ impl QuorumValidator {
     /// met (there is no issuer to trust).
     pub fn validate(&self, cc: &CommunityCertificate, now: u64) -> Result<(), CertError> {
         // Self-signature binds the keys to the claimed identity.
-        cc.certificate.verify_issuer(&cc.certificate.ed25519_public)?;
+        cc.certificate
+            .verify_issuer(&cc.certificate.ed25519_public)?;
         cc.certificate.check_validity(now)?;
         let mut signed = Vec::with_capacity(64);
         signed.extend_from_slice(ENDORSE_CONTEXT);
@@ -182,7 +183,10 @@ mod tests {
     use super::*;
 
     fn member(seed: u8, name: &str) -> (UserId, SigningKey) {
-        (UserId::from_str_padded(name), SigningKey::from_seed([seed; 32]))
+        (
+            UserId::from_str_padded(name),
+            SigningKey::from_seed([seed; 32]),
+        )
     }
 
     fn community() -> (
@@ -194,14 +198,8 @@ mod tests {
         let members: Vec<(UserId, SigningKey)> = (0..4)
             .map(|i| member(10 + i, &format!("member-{i}")))
             .collect();
-        let cc = CommunityCertificate::self_signed(
-            &subject.1,
-            subject.0,
-            "Newcomer",
-            [7; 32],
-            0,
-            1_000,
-        );
+        let cc =
+            CommunityCertificate::self_signed(&subject.1, subject.0, "Newcomer", [7; 32], 0, 1_000);
         let anchors: BTreeMap<UserId, VerifyingKey> = members
             .iter()
             .map(|(id, key)| (*id, key.verifying_key()))
@@ -280,7 +278,10 @@ mod tests {
         });
         let e1 = cc.endorse(members[1].0, &members[1].1);
         cc.add_endorsement(e1);
-        assert!(validator.validate(&cc, 10).is_err(), "only 1 real endorsement");
+        assert!(
+            validator.validate(&cc, 10).is_err(),
+            "only 1 real endorsement"
+        );
     }
 
     #[test]

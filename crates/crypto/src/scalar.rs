@@ -108,6 +108,7 @@ impl Scalar {
     pub fn add(&self, rhs: &Scalar) -> Scalar {
         let mut sum = [0u64; 4];
         let mut carry = 0u64;
+        #[allow(clippy::needless_range_loop)] // walks two arrays in lockstep
         for i in 0..4 {
             let (s, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s, c2) = s.overflowing_add(carry);

@@ -1,0 +1,170 @@
+//! A uniform-grid spatial hash over node positions.
+//!
+//! The plane is divided into square cells whose side is the radio
+//! range. Any pair of nodes within range therefore lies in the same
+//! cell or in horizontally/vertically/diagonally adjacent cells, so a
+//! candidate query inspects at most the 3×3 block around a position —
+//! O(local density) instead of O(n).
+
+use sos_sim::Point;
+use std::collections::HashMap;
+
+/// A cell coordinate (floor-divided position).
+pub type Cell = (i64, i64);
+
+/// The spatial hash: node indices bucketed by grid cell.
+#[derive(Clone, Debug)]
+pub struct UniformGrid {
+    cell_m: f64,
+    cells: HashMap<Cell, Vec<usize>>,
+    /// Where each node currently is (`None` until inserted).
+    node_cell: Vec<Option<Cell>>,
+}
+
+impl UniformGrid {
+    /// Creates an empty grid for `node_count` nodes with `cell_m`-metre
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not positive and finite.
+    pub fn new(node_count: usize, cell_m: f64) -> UniformGrid {
+        assert!(
+            cell_m > 0.0 && cell_m.is_finite(),
+            "cell size must be positive and finite"
+        );
+        UniformGrid {
+            cell_m,
+            cells: HashMap::new(),
+            node_cell: vec![None; node_count],
+        }
+    }
+
+    /// The cell containing `p`.
+    pub fn cell_of(&self, p: Point) -> Cell {
+        (
+            (p.x / self.cell_m).floor() as i64,
+            (p.y / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// Inserts or moves `node` to the cell containing `p`. Returns
+    /// `true` if the node changed cell (or was newly inserted).
+    pub fn update(&mut self, node: usize, p: Point) -> bool {
+        let cell = self.cell_of(p);
+        match self.node_cell[node] {
+            Some(old) if old == cell => false,
+            Some(old) => {
+                self.remove_from_cell(node, old);
+                self.cells.entry(cell).or_default().push(node);
+                self.node_cell[node] = Some(cell);
+                true
+            }
+            None => {
+                self.cells.entry(cell).or_default().push(node);
+                self.node_cell[node] = Some(cell);
+                true
+            }
+        }
+    }
+
+    fn remove_from_cell(&mut self, node: usize, cell: Cell) {
+        let bucket = self.cells.get_mut(&cell).expect("node's cell exists");
+        let pos = bucket
+            .iter()
+            .position(|&n| n == node)
+            .expect("node in its cell");
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.cells.remove(&cell);
+        }
+    }
+
+    /// Appends every node in the 3×3 cell block around `p` to `out`
+    /// (including, possibly, nodes exactly at range boundary in
+    /// diagonal cells; callers filter by true distance).
+    pub fn neighbors_into(&self, p: Point, out: &mut Vec<usize>) {
+        let (cx, cy) = self.cell_of(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    out.extend_from_slice(bucket);
+                }
+            }
+        }
+    }
+
+    /// The nodes in the 3×3 cell block around `p`.
+    pub fn neighbors(&self, p: Point) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.neighbors_into(p, &mut out);
+        out
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of inserted nodes.
+    pub fn len(&self) -> usize {
+        self.node_cell.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// True if no node has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_tracks_cell_changes() {
+        let mut grid = UniformGrid::new(2, 10.0);
+        assert!(grid.update(0, Point::new(5.0, 5.0)));
+        // Same cell: no structural change.
+        assert!(!grid.update(0, Point::new(9.0, 1.0)));
+        // Crosses a cell boundary.
+        assert!(grid.update(0, Point::new(11.0, 1.0)));
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.occupied_cells(), 1);
+    }
+
+    #[test]
+    fn neighbors_cover_adjacent_cells_only() {
+        let mut grid = UniformGrid::new(4, 10.0);
+        grid.update(0, Point::new(5.0, 5.0)); // cell (0,0)
+        grid.update(1, Point::new(15.0, 5.0)); // cell (1,0) — adjacent
+        grid.update(2, Point::new(25.0, 5.0)); // cell (2,0) — not adjacent
+        grid.update(3, Point::new(-5.0, -5.0)); // cell (-1,-1) — adjacent
+        let mut near = grid.neighbors(Point::new(5.0, 5.0));
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn negative_coordinates_floor_correctly() {
+        let grid = UniformGrid::new(0, 10.0);
+        assert_eq!(grid.cell_of(Point::new(-0.5, -10.5)), (-1, -2));
+        assert_eq!(grid.cell_of(Point::new(0.0, 0.0)), (0, 0));
+    }
+
+    #[test]
+    fn in_range_pairs_always_in_adjacent_cells() {
+        // The geometric guarantee the kernel relies on: if two points
+        // are within `cell_m` of each other, their cells differ by at
+        // most 1 in each axis.
+        let grid = UniformGrid::new(0, 60.0);
+        for i in 0..100 {
+            let x = i as f64 * 37.3 - 1800.0;
+            let p = Point::new(x, x * 0.7);
+            let q = Point::new(x + 59.9, x * 0.7 + 0.1);
+            let (ax, ay) = grid.cell_of(p);
+            let (bx, by) = grid.cell_of(q);
+            assert!((ax - bx).abs() <= 1 && (ay - by).abs() <= 1);
+        }
+    }
+}

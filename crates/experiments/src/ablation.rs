@@ -62,9 +62,7 @@ pub fn run_ablation(base: &FieldStudyConfig, schemes: &[SchemeKind]) -> Vec<Abla
 pub fn format_table(rows: &[AblationRow]) -> String {
     let mut out = String::new();
     out.push_str("Routing-scheme ablation (same scenario, same seed)\n");
-    out.push_str(
-        "scheme               deliveries transfers overhead 1-hop  median-delay ratio\n",
-    );
+    out.push_str("scheme               deliveries transfers overhead 1-hop  median-delay ratio\n");
     for r in rows {
         out.push_str(&format!(
             "{:<20} {:>10} {:>9} {:>8.2} {:>6.3} {:>12} {:>6.3}\n",

@@ -123,7 +123,7 @@ pub fn run_density(cfg: &DensityConfig) -> DensityOutcome {
     let rwp = RandomWaypoint::pedestrian(bounds);
     let trajectories: Vec<_> = (0..cfg.nodes)
         .map(|i| {
-            let mut trng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (i as u64 + 1) * 7919);
+            let mut trng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ ((i as u64 + 1) * 7919));
             rwp.generate(&mut trng, SimDuration::from_hours(cfg.hours))
         })
         .collect();
@@ -176,7 +176,9 @@ pub fn run_density(cfg: &DensityConfig) -> DensityOutcome {
 /// Formats density outcomes as a table.
 pub fn format_table(rows: &[DensityOutcome]) -> String {
     let mut out = String::new();
-    out.push_str("Density comparison (paper §VI-B): conventional simulation vs field-study density\n");
+    out.push_str(
+        "Density comparison (paper §VI-B): conventional simulation vs field-study density\n",
+    );
     out.push_str("nodes  area(km²)  density(/km²)  deliveries  ratio  median-delay  transfers\n");
     for r in rows {
         out.push_str(&format!(

@@ -12,7 +12,7 @@ use sos_core::message::MessageKind;
 use sos_core::middleware::{SosEvent, SosStats};
 use sos_net::{Frame, LinkModel, PeerId};
 use sos_sim::metrics::{DelayRecorder, DeliveryRecorder};
-use sos_sim::{EventQueue, SimDuration, SimTime, World};
+use sos_sim::{ContactSource, EventQueue, SimDuration, SimTime, World};
 use std::collections::BTreeMap;
 
 /// Where on the map something happened (for Fig. 4b).
@@ -37,11 +37,16 @@ pub enum MapEventKind {
 
 /// Driver events.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Deliver(Frame) dominates by design
 enum Event {
     /// `node` broadcasts its advertisement to everyone in range.
     Advertise(usize),
     /// A frame arrives at `dst` (sent by `src` earlier).
-    Deliver { src: usize, dst: usize, frame: Frame },
+    Deliver {
+        src: usize,
+        dst: usize,
+        frame: Frame,
+    },
     /// `node` authors a post.
     Post { node: usize },
     /// A contact closed; both ends lose the peer.
@@ -88,10 +93,13 @@ pub struct RunMetrics {
     pub security_alerts: u64,
 }
 
-/// The simulation driver: apps + world + queue + recorders.
-pub struct Driver {
+/// The simulation driver: apps + contact source + queue + recorders.
+///
+/// Generic over [`ContactSource`], so the same driver runs on the
+/// naive [`World`] scan or on `sos-engine`'s grid-indexed kernel.
+pub struct Driver<C: ContactSource = World> {
     apps: Vec<AlleyOopApp>,
-    world: World,
+    world: C,
     /// follower sets: `follows[author] = set of follower node indices`.
     followers: Vec<Vec<usize>>,
     user_index: BTreeMap<sos_crypto::UserId, usize>,
@@ -102,7 +110,7 @@ pub struct Driver {
     metrics: RunMetrics,
 }
 
-impl Driver {
+impl<C: ContactSource> Driver<C> {
     /// Creates a driver.
     ///
     /// `followers[a]` lists the node indices subscribed to node `a`'s
@@ -113,11 +121,11 @@ impl Driver {
     /// Panics if `apps` and the world disagree on the node count.
     pub fn new(
         apps: Vec<AlleyOopApp>,
-        world: World,
+        world: C,
         followers: Vec<Vec<usize>>,
         config: DriverConfig,
         end: SimTime,
-    ) -> Driver {
+    ) -> Driver<C> {
         assert_eq!(apps.len(), world.node_count(), "node count mismatch");
         assert_eq!(apps.len(), followers.len(), "follower map mismatch");
         let user_index = apps
@@ -224,10 +232,12 @@ impl Driver {
         if !self.world.in_range(src, dst, now) {
             return; // receiver moved away mid-flight
         }
-        let replies =
-            self.apps[dst]
-                .middleware_mut()
-                .handle_frame(PeerId(src as u32), frame, now, &mut self.rng);
+        let replies = self.apps[dst].middleware_mut().handle_frame(
+            PeerId(src as u32),
+            frame,
+            now,
+            &mut self.rng,
+        );
         self.collect_app_events(dst, now);
         for (to, f) in replies {
             self.transmit(dst, to.0 as usize, f, now);

@@ -8,6 +8,8 @@
 //! * [`scenario`] — the 10-node / 7-day / 259-post Gainesville scenario
 //! * [`report`] — paper-vs-measured tables and figure series
 //! * [`ablation`] — the routing-scheme comparison (extension)
+//! * [`sweep`] — parallel multi-seed scheme sweeps on the
+//!   `sos-engine` grid contact kernel (extension)
 //! * [`density`] — conventional-simulation vs field-study density
 //!   (the §VI-B discussion, extension)
 //!
@@ -23,5 +25,6 @@ pub mod driver;
 pub mod report;
 pub mod scenario;
 pub mod social;
+pub mod sweep;
 
-pub use scenario::{run_field_study, FieldStudyConfig, FieldStudyOutcome};
+pub use scenario::{run_field_study, run_field_study_on, FieldStudyConfig, FieldStudyOutcome};

@@ -106,7 +106,9 @@ pub fn fig4b(outcome: &FieldStudyOutcome, cols: usize, rows: usize) -> String {
     out.push_str("Fig. 4b — message generation (o) and dissemination (x) map\n");
     out.push_str(&format!(
         "area 11 km x 8 km; {} created (blue in paper), {} disseminated (red)\n",
-        map.iter().filter(|e| e.kind == MapEventKind::Created).count(),
+        map.iter()
+            .filter(|e| e.kind == MapEventKind::Created)
+            .count(),
         map.iter()
             .filter(|e| e.kind == MapEventKind::Disseminated)
             .count()

@@ -12,8 +12,9 @@ use sos_core::routing::SchemeKind;
 use sos_graph::SocialGraphReport;
 use sos_net::PeerId;
 use sos_sim::mobility::schedule::{DailySchedule, ScheduleConfig};
+use sos_sim::mobility::trace::Trajectory;
 use sos_sim::radio::RadioTech;
-use sos_sim::{SimDuration, SimTime, World};
+use sos_sim::{ContactSource, SimDuration, SimTime, World};
 
 /// Scenario configuration, defaulting to the published field study.
 #[derive(Clone, Debug)]
@@ -134,10 +135,11 @@ fn build_apps(config: &FieldStudyConfig, rng: &mut rand::rngs::StdRng) -> Vec<Al
     // Custom IB holdoff, if requested.
     if let (Some(mins), SchemeKind::InterestBased) = (config.ib_holdoff_mins, config.scheme) {
         for app in &mut apps {
-            app.middleware_mut()
-                .set_custom_scheme(Box::new(sos_core::routing::InterestBased::with_holdoff(
-                    sos_sim::SimDuration::from_mins(mins),
-                )));
+            app.middleware_mut().set_custom_scheme(Box::new(
+                sos_core::routing::InterestBased::with_holdoff(sos_sim::SimDuration::from_mins(
+                    mins,
+                )),
+            ));
         }
     }
     apps
@@ -158,8 +160,18 @@ fn post_schedule(config: &FieldStudyConfig, rng: &mut rand::rngs::StdRng) -> Vec
     posts
 }
 
-/// Runs the complete field study and returns the outcome.
-pub fn run_field_study(config: &FieldStudyConfig) -> FieldStudyOutcome {
+/// Runs the complete field study on the contact source built by
+/// `make_source` from `(trajectories, range_m, tick)`.
+///
+/// `run_field_study` passes [`World::new`] here; scheme sweeps pass
+/// `sos-engine`'s grid kernel constructor instead. Both receive
+/// identical trajectories, so results depend only on the source's
+/// contact semantics (which the engine matches exactly).
+pub fn run_field_study_on<C, F>(config: &FieldStudyConfig, make_source: F) -> FieldStudyOutcome
+where
+    C: ContactSource,
+    F: FnOnce(Vec<Trajectory>, f64, SimDuration) -> C,
+{
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let apps = build_apps(config, &mut rng);
 
@@ -172,7 +184,7 @@ pub fn run_field_study(config: &FieldStudyConfig) -> FieldStudyOutcome {
     schedule.set_building_preferences(social::building_preferences(buildings));
     schedule.set_friends(social::friend_lists());
     let trajectories = schedule.generate_all(config.seed ^ 0xfeed);
-    let world = World::new(
+    let world = make_source(
         trajectories,
         RadioTech::max_range_m(config.infra_available),
         config.contact_tick,
@@ -211,6 +223,12 @@ pub fn run_field_study(config: &FieldStudyConfig) -> FieldStudyOutcome {
         seed: config.seed,
         apps,
     }
+}
+
+/// Runs the complete field study on the naive [`World`] contact scan
+/// and returns the outcome.
+pub fn run_field_study(config: &FieldStudyConfig) -> FieldStudyOutcome {
+    run_field_study_on(config, World::new)
 }
 
 /// A reduced-size scenario for fast tests: 2 days, 40 posts, smaller

@@ -44,6 +44,7 @@ impl GraphMetrics {
         let mut pairs = 0usize;
         let mut ecc = vec![0usize; n];
         let mut connected = true;
+        #[allow(clippy::needless_range_loop)] // i names the BFS source node
         for i in 0..n {
             let dist = g.bfs_distances(i);
             for j in 0..n {

@@ -267,7 +267,13 @@ mod tests {
         let signing = SigningKey::from_seed([2u8; 32]);
         let agreement = AgreementKey::from_secret([3u8; 32]);
         let uid = UserId::from_str_padded("alice");
-        let cert = ca.issue(uid, "Alice", signing.verifying_key(), *agreement.public(), 0);
+        let cert = ca.issue(
+            uid,
+            "Alice",
+            signing.verifying_key(),
+            *agreement.public(),
+            0,
+        );
         DeviceIdentity::new(
             uid,
             signing,
@@ -327,7 +333,10 @@ mod tests {
     fn garbage_rejected() {
         assert_eq!(Frame::decode(&[]).unwrap_err(), NetError::BadFrame);
         assert_eq!(Frame::decode(&[99]).unwrap_err(), NetError::BadFrame);
-        assert_eq!(Frame::decode(&[TAG_DATA, 1]).unwrap_err(), NetError::BadFrame);
+        assert_eq!(
+            Frame::decode(&[TAG_DATA, 1]).unwrap_err(),
+            NetError::BadFrame
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub enum SessionState {
 
 /// What a processed frame means for the caller.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Reply(Frame) dominates by design
 pub enum SessionEvent {
     /// Send this reply frame to the peer.
     Reply(Frame),

@@ -37,7 +37,7 @@ pub use geo::Point;
 pub use metrics::{Cdf, DelayRecorder, DeliveryRecorder};
 pub use radio::RadioTech;
 pub use time::{SimDuration, SimTime};
-pub use world::{ContactEvent, ContactPhase, World};
+pub use world::{ContactEvent, ContactInterval, ContactPhase, ContactSource, World};
 
 #[cfg(test)]
 mod proptests {

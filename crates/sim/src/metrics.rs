@@ -330,6 +330,6 @@ mod tests {
     fn delivery_recorder_empty_subscription_skipped() {
         let mut rec = DeliveryRecorder::new();
         rec.delivered(0, 1); // delivered without expectation (late expect)
-        assert!(rec.ratios().is_empty() || rec.ratios()[0].is_infinite() == false);
+        assert!(rec.ratios().is_empty() || !rec.ratios()[0].is_infinite());
     }
 }

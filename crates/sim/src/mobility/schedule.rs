@@ -114,7 +114,8 @@ impl DailySchedule {
                 let row = i / cols;
                 let col = i % cols;
                 config.bounds.clamp(Point::new(
-                    config.campus_center.x + (col as f64 - cols as f64 / 2.0) * config.building_spacing,
+                    config.campus_center.x
+                        + (col as f64 - cols as f64 / 2.0) * config.building_spacing,
                     config.campus_center.y + (row as f64) * config.building_spacing,
                 ))
             })
@@ -176,9 +177,7 @@ impl DailySchedule {
 
     fn pick_building<R: Rng>(&self, node: usize, rng: &mut R) -> Point {
         let preferred = &self.preferred[node];
-        if !preferred.is_empty()
-            && rng.gen_bool(self.config.preference_strength.clamp(0.0, 1.0))
-        {
+        if !preferred.is_empty() && rng.gen_bool(self.config.preference_strength.clamp(0.0, 1.0)) {
             self.buildings[preferred[rng.gen_range(0..preferred.len())]]
         } else {
             self.buildings[rng.gen_range(0..self.buildings.len())]
@@ -232,9 +231,8 @@ impl DailySchedule {
                 let travel = SimDuration::from_millis(
                     (b.position().distance(&first_building) / cfg.travel_speed * 1000.0) as u64,
                 );
-                let depart = SimTime::from_millis(
-                    arrive.as_millis().saturating_sub(travel.as_millis()),
-                );
+                let depart =
+                    SimTime::from_millis(arrive.as_millis().saturating_sub(travel.as_millis()));
                 b.wait_until(depart.max(b.now()));
                 b.travel_to(first_building, cfg.travel_speed);
                 // Hop between buildings until it is time to leave.

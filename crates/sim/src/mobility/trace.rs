@@ -58,8 +58,8 @@ impl Trajectory {
         if t1 == t0 {
             return p1;
         }
-        let frac = (t.as_millis() - t0.as_millis()) as f64
-            / (t1.as_millis() - t0.as_millis()) as f64;
+        let frac =
+            (t.as_millis() - t0.as_millis()) as f64 / (t1.as_millis() - t0.as_millis()) as f64;
         p0.lerp(&p1, frac)
     }
 

@@ -39,8 +39,8 @@ impl RadioTech {
     /// Nominal application-layer throughput in bytes/second.
     pub fn bandwidth_bps(&self) -> f64 {
         match self {
-            RadioTech::Bluetooth => 125_000.0,          // ~1 Mbit/s
-            RadioTech::PeerToPeerWifi => 3_000_000.0,   // ~24 Mbit/s
+            RadioTech::Bluetooth => 125_000.0,            // ~1 Mbit/s
+            RadioTech::PeerToPeerWifi => 3_000_000.0,     // ~24 Mbit/s
             RadioTech::InfrastructureWifi => 1_500_000.0, // shared AP
         }
     }

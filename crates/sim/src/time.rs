@@ -8,15 +8,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant in simulated time (milliseconds since the simulation epoch).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in milliseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -194,7 +190,10 @@ mod tests {
         assert_eq!(t.as_secs(), 15);
         assert_eq!((t - SimTime::from_secs(10)).as_secs(), 5);
         // Saturating subtraction.
-        assert_eq!((SimTime::from_secs(1) - SimTime::from_secs(9)).as_millis(), 0);
+        assert_eq!(
+            (SimTime::from_secs(1) - SimTime::from_secs(9)).as_millis(),
+            0
+        );
     }
 
     #[test]

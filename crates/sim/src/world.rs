@@ -50,6 +50,81 @@ impl ContactInterval {
     }
 }
 
+/// Collapses a time-ordered contact-event stream into closed intervals;
+/// contacts still open at `end` are closed there. Output is sorted by
+/// `(start, a, b)`.
+pub fn collapse_intervals(events: &[ContactEvent], end: SimTime) -> Vec<ContactInterval> {
+    let mut open: std::collections::HashMap<(usize, usize), SimTime> =
+        std::collections::HashMap::new();
+    let mut intervals = Vec::new();
+    for ev in events {
+        match ev.phase {
+            ContactPhase::Up => {
+                open.insert((ev.a, ev.b), ev.time);
+            }
+            ContactPhase::Down => {
+                if let Some(s) = open.remove(&(ev.a, ev.b)) {
+                    intervals.push(ContactInterval {
+                        a: ev.a,
+                        b: ev.b,
+                        start: s,
+                        end: ev.time,
+                    });
+                }
+            }
+        }
+    }
+    for ((a, b), s) in open {
+        intervals.push(ContactInterval {
+            a,
+            b,
+            start: s,
+            end,
+        });
+    }
+    intervals.sort_by_key(|iv| (iv.start, iv.a, iv.b));
+    intervals
+}
+
+/// Anything that can answer "who is where, and when are pairs in
+/// range" — the interface between mobility substrates and the
+/// experiment driver.
+///
+/// Two implementations exist: [`World`] (the original all-pairs
+/// tick scan, exact but O(n²) per tick) and `sos-engine`'s
+/// grid-indexed event-driven kernel (same contact semantics at tick
+/// resolution, near-linear in practice). The driver and every
+/// scenario are generic over this trait, so substrates are
+/// interchangeable.
+pub trait ContactSource {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Communication range in metres.
+    fn range_m(&self) -> f64;
+
+    /// Position of `node` at `t`.
+    fn position(&self, node: usize, t: SimTime) -> Point;
+
+    /// Distance between two nodes at `t`.
+    fn distance(&self, a: usize, b: usize, t: SimTime) -> f64 {
+        self.position(a, t).distance(&self.position(b, t))
+    }
+
+    /// True if `a` and `b` are within range at `t`.
+    fn in_range(&self, a: usize, b: usize, t: SimTime) -> bool {
+        self.distance(a, b, t) <= self.range_m()
+    }
+
+    /// Every contact transition in `[start, end]`, in time order.
+    fn contact_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent>;
+
+    /// Closed contact intervals over `[start, end]`.
+    fn contact_intervals(&self, start: SimTime, end: SimTime) -> Vec<ContactInterval> {
+        collapse_intervals(&self.contact_events(start, end), end)
+    }
+}
+
 /// The simulated world: node trajectories plus a communication range.
 ///
 /// Contact detection samples all trajectories on a fixed tick and applies
@@ -105,6 +180,17 @@ impl World {
         &self.trajectories[node]
     }
 
+    /// All trajectories, in node order.
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Consumes the world into its trajectories (for handing them to a
+    /// different [`ContactSource`] implementation).
+    pub fn into_trajectories(self) -> Vec<Trajectory> {
+        self.trajectories
+    }
+
     /// Distance between two nodes at `t`.
     pub fn distance(&self, a: usize, b: usize, t: SimTime) -> f64 {
         self.position(a, t).distance(&self.position(b, t))
@@ -117,6 +203,7 @@ impl World {
 
     /// Scans `[start, end]` on the discovery tick and emits every contact
     /// transition, in time order.
+    #[allow(clippy::needless_range_loop)] // triangular a<b pair walk
     pub fn contact_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent> {
         let n = self.node_count();
         let mut up = vec![vec![false; n]; n];
@@ -152,36 +239,25 @@ impl World {
     /// Collapses the event stream into closed contact intervals.
     /// Contacts still open at `end` are closed there.
     pub fn contact_intervals(&self, start: SimTime, end: SimTime) -> Vec<ContactInterval> {
-        let mut open: std::collections::HashMap<(usize, usize), SimTime> =
-            std::collections::HashMap::new();
-        let mut intervals = Vec::new();
-        for ev in self.contact_events(start, end) {
-            match ev.phase {
-                ContactPhase::Up => {
-                    open.insert((ev.a, ev.b), ev.time);
-                }
-                ContactPhase::Down => {
-                    if let Some(s) = open.remove(&(ev.a, ev.b)) {
-                        intervals.push(ContactInterval {
-                            a: ev.a,
-                            b: ev.b,
-                            start: s,
-                            end: ev.time,
-                        });
-                    }
-                }
-            }
-        }
-        for ((a, b), s) in open {
-            intervals.push(ContactInterval {
-                a,
-                b,
-                start: s,
-                end,
-            });
-        }
-        intervals.sort_by_key(|iv| (iv.start, iv.a, iv.b));
-        intervals
+        collapse_intervals(&self.contact_events(start, end), end)
+    }
+}
+
+impl ContactSource for World {
+    fn node_count(&self) -> usize {
+        World::node_count(self)
+    }
+
+    fn range_m(&self) -> f64 {
+        World::range_m(self)
+    }
+
+    fn position(&self, node: usize, t: SimTime) -> Point {
+        World::position(self, node, t)
+    }
+
+    fn contact_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent> {
+        World::contact_events(self, start, end)
     }
 }
 

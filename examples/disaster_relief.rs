@@ -34,8 +34,15 @@ fn build_apps(scheme: SchemeKind, rng: &mut rand::rngs::StdRng) -> Vec<AlleyOopA
             } else {
                 format!("person-{i:02}")
             };
-            AlleyOopApp::sign_up(&mut cloud, PeerId(i as u32), &handle, scheme, SimTime::ZERO, rng)
-                .expect("unique handles")
+            AlleyOopApp::sign_up(
+                &mut cloud,
+                PeerId(i as u32),
+                &handle,
+                scheme,
+                SimTime::ZERO,
+                rng,
+            )
+            .expect("unique handles")
         })
         .collect();
     // Everyone follows the coordinator's bulletins; families follow each
@@ -81,9 +88,9 @@ fn run(scheme: SchemeKind) -> (usize, u64, f64, f64) {
     for i in 1..SURVIVORS {
         followers[0].push(i); // coordinator bulletins
         let family = (i - 1) / FAMILY_SIZE;
-        for j in 1..SURVIVORS {
+        for (j, follows) in followers.iter_mut().enumerate().skip(1) {
             if j != i && (j - 1) / FAMILY_SIZE == family {
-                followers[j].push(i);
+                follows.push(i);
             }
         }
     }
@@ -119,7 +126,11 @@ fn run(scheme: SchemeKind) -> (usize, u64, f64, f64) {
         .map(|a| a.middleware().stats().bundles_received)
         .sum();
     let cdf = metrics.delays.cdf_all_hours();
-    let median = if cdf.is_empty() { f64::NAN } else { cdf.quantile(0.5) };
+    let median = if cdf.is_empty() {
+        f64::NAN
+    } else {
+        cdf.quantile(0.5)
+    };
     (
         metrics.delays.len(),
         transfers,
@@ -132,7 +143,11 @@ fn main() {
     println!("disaster relief: {SURVIVORS} survivors, 2x2 km zone, {HOURS} h, no infrastructure");
     println!();
     println!("scheme            deliveries transfers delivery-ratio median-delay");
-    for scheme in [SchemeKind::Epidemic, SchemeKind::InterestBased, SchemeKind::Direct] {
+    for scheme in [
+        SchemeKind::Epidemic,
+        SchemeKind::InterestBased,
+        SchemeKind::Direct,
+    ] {
         let (deliveries, transfers, ratio, median_h) = run(scheme);
         println!(
             "{:<17} {:>10} {:>9} {:>14.3} {:>11.2}h",

@@ -77,7 +77,10 @@ fn main() {
         } else {
             &mut bob
         };
-        for (d, f) in target.middleware_mut().handle_frame(src, frame, t, &mut rng) {
+        for (d, f) in target
+            .middleware_mut()
+            .handle_frame(src, frame, t, &mut rng)
+        {
             let s = target.peer_id();
             queue.push_back((s, d, f));
         }

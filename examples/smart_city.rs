@@ -70,8 +70,15 @@ fn main() {
             };
             // Epidemic: city data is public and replication is cheap
             // relative to the value of delivery.
-            AlleyOopApp::sign_up(&mut cloud, PeerId(i as u32), &handle, SchemeKind::Epidemic, SimTime::ZERO, &mut rng)
-                .expect("unique handles")
+            AlleyOopApp::sign_up(
+                &mut cloud,
+                PeerId(i as u32),
+                &handle,
+                SchemeKind::Epidemic,
+                SimTime::ZERO,
+                &mut rng,
+            )
+            .expect("unique handles")
         })
         .collect();
 
@@ -120,10 +127,7 @@ fn main() {
     // Each sensor posts a reading every 2 hours.
     for s in 1..=SENSORS {
         for h in (0..HOURS).step_by(2) {
-            driver.schedule_post(
-                SimTime::from_hours(h) + SimDuration::from_mins(s as u64),
-                s,
-            );
+            driver.schedule_post(SimTime::from_hours(h) + SimDuration::from_mins(s as u64), s);
         }
     }
 

@@ -14,6 +14,7 @@
 //! | [`crypto`] | SHA-2, HMAC, HKDF, ChaCha20-Poly1305, X25519, Ed25519, certificates, CA |
 //! | [`graph`] | social-graph analytics (density, diameter, transitivity, ...) |
 //! | [`sim`] | discrete-event kernel, mobility models, radio ranges, metric recorders |
+//! | [`engine`] | spatial-grid contact engine, event-driven kernel, batch scenario runner |
 //! | [`net`] | MPC-style discovery, sessions, framing, authenticated handshake |
 //! | [`core`] | the SOS middleware: ad hoc / message / routing managers |
 //! | [`social`] | AlleyOop Social: accounts, posts, follows, feeds, cloud |
@@ -33,6 +34,7 @@
 pub use alleyoop as social;
 pub use sos_core as core;
 pub use sos_crypto as crypto;
+pub use sos_engine as engine;
 pub use sos_experiments as experiments;
 pub use sos_graph as graph;
 pub use sos_net as net;

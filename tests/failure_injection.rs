@@ -105,8 +105,24 @@ fn flapping_contact_recovers() {
 fn store_pressure_keeps_node_functional() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     let mut cloud = Cloud::new("Test CA", [1; 32]);
-    let alice = AlleyOopApp::sign_up(&mut cloud, PeerId(0), "alice", SchemeKind::Epidemic, SimTime::ZERO, &mut rng).unwrap();
-    let bob = AlleyOopApp::sign_up(&mut cloud, PeerId(1), "bob", SchemeKind::Epidemic, SimTime::ZERO, &mut rng).unwrap();
+    let alice = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(0),
+        "alice",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut rng,
+    )
+    .unwrap();
+    let bob = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(1),
+        "bob",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut rng,
+    )
+    .unwrap();
     let mut alice = alice;
     let mut bob = bob;
 
@@ -129,10 +145,15 @@ fn store_pressure_keeps_node_functional() {
         queue.push_back((bob.peer_id(), d, f));
     }
     while let Some((src, dst, frame)) = queue.pop_front() {
-        let target = if dst == alice.peer_id() { &mut alice } else { &mut bob };
-        for (d, f) in target
-            .middleware_mut()
-            .handle_frame(src, frame, SimTime::from_secs(100), &mut rng)
+        let target = if dst == alice.peer_id() {
+            &mut alice
+        } else {
+            &mut bob
+        };
+        for (d, f) in
+            target
+                .middleware_mut()
+                .handle_frame(src, frame, SimTime::from_secs(100), &mut rng)
         {
             let s = target.peer_id();
             queue.push_back((s, d, f));
@@ -153,7 +174,15 @@ fn store_pressure_keeps_node_functional() {
     // A node built with limits enforces them end to end.
     let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
     let mut cloud2 = Cloud::new("CA2", [2; 32]);
-    let capped_app = AlleyOopApp::sign_up(&mut cloud2, PeerId(7), "capped", SchemeKind::Epidemic, SimTime::ZERO, &mut rng2).unwrap();
+    let capped_app = AlleyOopApp::sign_up(
+        &mut cloud2,
+        PeerId(7),
+        "capped",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut rng2,
+    )
+    .unwrap();
     let identity_check = capped_app.middleware().identity().certificate().subject;
     assert_eq!(identity_check, capped_app.user_id());
     let mut capped = sos::core::Sos::with_config(
@@ -181,8 +210,24 @@ fn store_pressure_keeps_node_functional() {
 fn hostile_swarm_rejected_honest_traffic_flows() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let mut cloud = Cloud::new("Real CA", [1; 32]);
-    let mut honest_a = AlleyOopApp::sign_up(&mut cloud, PeerId(0), "honest-a", SchemeKind::Epidemic, SimTime::ZERO, &mut rng).unwrap();
-    let mut honest_b = AlleyOopApp::sign_up(&mut cloud, PeerId(1), "honest-b", SchemeKind::Epidemic, SimTime::ZERO, &mut rng).unwrap();
+    let mut honest_a = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(0),
+        "honest-a",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut rng,
+    )
+    .unwrap();
+    let mut honest_b = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(1),
+        "honest-b",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut rng,
+    )
+    .unwrap();
 
     let mut attackers: Vec<AlleyOopApp> = (0..10)
         .map(|i| {
@@ -225,9 +270,10 @@ fn hostile_swarm_rejected_honest_traffic_flows() {
             } else {
                 attacker
             };
-            for (d, f) in target
-                .middleware_mut()
-                .handle_frame(src, frame, SimTime::from_secs(2), &mut rng)
+            for (d, f) in
+                target
+                    .middleware_mut()
+                    .handle_frame(src, frame, SimTime::from_secs(2), &mut rng)
             {
                 let s = target.peer_id();
                 queue.push_back((s, d, f));
@@ -240,7 +286,11 @@ fn hostile_swarm_rejected_honest_traffic_flows() {
         "only honest-a's own post stored, nothing hostile"
     );
     assert!(honest_a.middleware().stats().security_rejections >= 10);
-    assert_eq!(honest_a.middleware().session_count(), 0, "no lingering sessions");
+    assert_eq!(
+        honest_a.middleware().session_count(),
+        0,
+        "no lingering sessions"
+    );
 
     // Honest traffic still flows afterwards.
     honest_b.follow(honest_a.user_id());
@@ -262,9 +312,10 @@ fn hostile_swarm_rejected_honest_traffic_flows() {
         } else {
             &mut honest_b
         };
-        for (d, f) in target
-            .middleware_mut()
-            .handle_frame(src, frame, SimTime::from_secs(11), &mut rng)
+        for (d, f) in
+            target
+                .middleware_mut()
+                .handle_frame(src, frame, SimTime::from_secs(11), &mut rng)
         {
             let s = target.peer_id();
             queue.push_back((s, d, f));

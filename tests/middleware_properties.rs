@@ -10,10 +10,24 @@ use std::collections::VecDeque;
 fn two_apps(seed: u64, scheme: SchemeKind) -> (AlleyOopApp, AlleyOopApp) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut cloud = Cloud::new("CA", [1; 32]);
-    let a = AlleyOopApp::sign_up(&mut cloud, PeerId(0), "alice", scheme, SimTime::ZERO, &mut rng)
-        .unwrap();
-    let b = AlleyOopApp::sign_up(&mut cloud, PeerId(1), "bob", scheme, SimTime::ZERO, &mut rng)
-        .unwrap();
+    let a = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(0),
+        "alice",
+        scheme,
+        SimTime::ZERO,
+        &mut rng,
+    )
+    .unwrap();
+    let b = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(1),
+        "bob",
+        scheme,
+        SimTime::ZERO,
+        &mut rng,
+    )
+    .unwrap();
     (a, b)
 }
 
@@ -31,7 +45,10 @@ fn pump(a: &mut AlleyOopApp, b: &mut AlleyOopApp, now: SimTime) {
         guard += 1;
         assert!(guard < 100_000);
         let target = if dst == a.peer_id() { &mut *a } else { &mut *b };
-        for (d, f) in target.middleware_mut().handle_frame(src, frame, now, &mut r) {
+        for (d, f) in target
+            .middleware_mut()
+            .handle_frame(src, frame, now, &mut r)
+        {
             let s = target.peer_id();
             queue.push_back((s, d, f));
         }

@@ -31,7 +31,10 @@ fn pump(a: &mut AlleyOopApp, b: &mut AlleyOopApp, now: SimTime, seed: u64) {
         guard += 1;
         assert!(guard < 100_000, "frame storm");
         let target = if dst == a.peer_id() { &mut *a } else { &mut *b };
-        for (d, f) in target.middleware_mut().handle_frame(src, frame, now, &mut r) {
+        for (d, f) in target
+            .middleware_mut()
+            .handle_frame(src, frame, now, &mut r)
+        {
             let s = target.peer_id();
             queue.push_back((s, d, f));
         }
@@ -93,9 +96,33 @@ fn foreign_ca_cannot_join_the_network() {
 fn tampered_forwarded_bundle_rejected() {
     let mut r = rng(2);
     let mut cloud = Cloud::new("AlleyOop Root CA", [1; 32]);
-    let mut alice = AlleyOopApp::sign_up(&mut cloud, PeerId(0), "alice", SchemeKind::Epidemic, SimTime::ZERO, &mut r).unwrap();
-    let mut bob = AlleyOopApp::sign_up(&mut cloud, PeerId(1), "bob", SchemeKind::Epidemic, SimTime::ZERO, &mut r).unwrap();
-    let mut carol = AlleyOopApp::sign_up(&mut cloud, PeerId(2), "carol", SchemeKind::Epidemic, SimTime::ZERO, &mut r).unwrap();
+    let mut alice = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(0),
+        "alice",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut r,
+    )
+    .unwrap();
+    let mut bob = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(1),
+        "bob",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut r,
+    )
+    .unwrap();
+    let mut carol = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(2),
+        "carol",
+        SchemeKind::Epidemic,
+        SimTime::ZERO,
+        &mut r,
+    )
+    .unwrap();
 
     alice.post("original", SimTime::from_secs(1));
     pump(&mut alice, &mut bob, SimTime::from_secs(2), 8);
@@ -137,8 +164,24 @@ fn tampered_forwarded_bundle_rejected() {
 fn revoked_device_is_cut_off() {
     let mut r = rng(3);
     let mut cloud = Cloud::new("AlleyOop Root CA", [1; 32]);
-    let mut alice = AlleyOopApp::sign_up(&mut cloud, PeerId(0), "alice", SchemeKind::InterestBased, SimTime::ZERO, &mut r).unwrap();
-    let mut bob = AlleyOopApp::sign_up(&mut cloud, PeerId(1), "bob", SchemeKind::InterestBased, SimTime::ZERO, &mut r).unwrap();
+    let mut alice = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(0),
+        "alice",
+        SchemeKind::InterestBased,
+        SimTime::ZERO,
+        &mut r,
+    )
+    .unwrap();
+    let mut bob = AlleyOopApp::sign_up(
+        &mut cloud,
+        PeerId(1),
+        "bob",
+        SchemeKind::InterestBased,
+        SimTime::ZERO,
+        &mut r,
+    )
+    .unwrap();
     bob.follow(alice.user_id());
 
     // Pre-revocation delivery works.
@@ -189,7 +232,13 @@ fn certificate_author_binding_enforced() {
     let mallory_ak = AgreementKey::from_secret([4; 32]);
     let alice_uid = UserId::from_str_padded("alice");
     let mallory_uid = UserId::from_str_padded("mallory");
-    let _alice_cert = ca.issue(alice_uid, "Alice", alice_sk.verifying_key(), *alice_ak.public(), 0);
+    let _alice_cert = ca.issue(
+        alice_uid,
+        "Alice",
+        alice_sk.verifying_key(),
+        *alice_ak.public(),
+        0,
+    );
     let mallory_cert = ca.issue(
         mallory_uid,
         "Mallory",

@@ -1,0 +1,79 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the real serde
+//! cannot be fetched. Nothing in this workspace serialises data at
+//! runtime; the crates only *derive* the traits (for future wire/disk
+//! formats) and `sos-crypto` writes two manual impls. This crate
+//! provides exactly the trait surface those uses need to type-check,
+//! and re-exports no-op derive macros from `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error helpers mirroring `serde::de`.
+pub mod de {
+    use std::fmt::Display;
+
+    /// The deserialisation error trait: only the constructors the
+    /// workspace calls.
+    pub trait Error: Sized + Display {
+        /// A custom error message.
+        fn custom<T: Display>(msg: T) -> Self;
+        /// An input of the wrong length.
+        fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+            Self::custom(format_args!("invalid length {len}, expected {expected}"))
+        }
+    }
+}
+
+/// Error helpers mirroring `serde::ser`.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// The serialisation error trait.
+    pub trait Error: Sized + Display {
+        /// A custom error message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can be serialised.
+pub trait Serialize {
+    /// Serialises `self` into the given serialiser.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialised.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises a value from the given deserialiser.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format serialiser (byte-blob subset).
+pub trait Serializer: Sized {
+    /// Output of a successful serialisation.
+    type Ok;
+    /// Serialisation error type.
+    type Error: ser::Error;
+    /// Serialises a byte blob.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserialiser (byte-blob subset).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialisation error type.
+    type Error: de::Error;
+    /// Deserialises a byte blob.
+    fn deserialize_bytes(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bytes()
+    }
+}
