@@ -15,6 +15,13 @@ pub enum SosError {
     Net(NetError),
     /// A malformed wire payload.
     Malformed,
+    /// A sync request exceeds the wire format's u16 entry counts (the
+    /// legacy encoder silently truncated the count here; see
+    /// [`crate::sync::SyncMsg::requests`] for chunking).
+    RequestTooLarge {
+        /// Number of entries that was attempted.
+        entries: usize,
+    },
     /// The payload exceeds [`crate::message::MAX_PAYLOAD`].
     PayloadTooLarge {
         /// Size that was attempted.
@@ -56,6 +63,12 @@ impl fmt::Display for SosError {
             SosError::BundleRejected(r) => write!(f, "bundle rejected: {r}"),
             SosError::Net(e) => write!(f, "transport: {e}"),
             SosError::Malformed => f.write_str("malformed middleware payload"),
+            SosError::RequestTooLarge { entries } => {
+                write!(
+                    f,
+                    "sync request with {entries} entries overflows the wire format"
+                )
+            }
             SosError::PayloadTooLarge { size } => {
                 write!(f, "payload of {size} bytes exceeds maximum")
             }

@@ -75,7 +75,7 @@ pub use message::{Bundle, MessageId, MessageKind, SosMessage, MAX_PAYLOAD};
 pub use middleware::{Sos, SosConfig, SosEvent, SosStats};
 pub use routing::{RoutingContext, RoutingScheme, SchemeKind};
 pub use store::{InsertOutcome, MessageStore};
-pub use sync::SyncMsg;
+pub use sync::{AuthorWant, SyncMsg};
 
 /// Convenient single-import surface for applications.
 pub mod prelude {

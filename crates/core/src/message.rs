@@ -169,6 +169,12 @@ impl Bundle {
     ///
     /// The specific [`BundleRejection`] for the first failed check.
     pub fn verify(&self, validator: &Validator, now_secs: u64) -> Result<(), BundleRejection> {
+        // Message numbers start at 1 (§V-A); number 0 is unrepresentable
+        // in the sync protocol's have-ranges, so a signed-but-zero
+        // number would poison every future request for its author.
+        if self.message.id.number == 0 {
+            return Err(BundleRejection::Malformed);
+        }
         validator
             .validate(&self.author_certificate, now_secs)
             .map_err(BundleRejection::Certificate)?;
@@ -227,6 +233,11 @@ impl Bundle {
         let mut author = [0u8; 10];
         author.copy_from_slice(take(&mut pos, 10)?);
         let number = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
+        if number == 0 {
+            // Numbers start at 1; zero cannot be expressed as a sync
+            // have-range and is rejected at the wire.
+            return Err(BundleRejection::Malformed);
+        }
         let created = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
         let kind =
             MessageKind::from_byte(take(&mut pos, 1)?[0]).ok_or(BundleRejection::Malformed)?;
@@ -396,6 +407,30 @@ mod tests {
             bundle.verify(&validator, 200).unwrap_err(),
             BundleRejection::Certificate(sos_crypto::CertError::Revoked)
         ));
+    }
+
+    #[test]
+    fn zero_message_number_rejected() {
+        let (sk, cert, validator, _) = setup();
+        let msg = SosMessage::create(
+            &sk,
+            UserId::from_str_padded("alice"),
+            0,
+            SimTime::from_secs(1),
+            MessageKind::Post,
+            b"poison".to_vec(),
+        );
+        let bundle = Bundle::new(msg, cert);
+        // A certified author signing number 0 must be refused at verify
+        // (it would poison the author's sync have-ranges) and at decode.
+        assert_eq!(
+            bundle.verify(&validator, 100).unwrap_err(),
+            BundleRejection::Malformed
+        );
+        assert_eq!(
+            Bundle::decode(&bundle.encode()).unwrap_err(),
+            BundleRejection::Malformed
+        );
     }
 
     #[test]

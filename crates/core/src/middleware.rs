@@ -18,7 +18,7 @@ use crate::error::SosError;
 use crate::message::{Bundle, MessageId, MessageKind, SosMessage, MAX_PAYLOAD};
 use crate::routing::{RoutingContext, RoutingScheme, SchemeKind};
 use crate::store::{InsertOutcome, MessageStore};
-use crate::sync::SyncMsg;
+use crate::sync::{AuthorWant, SyncMsg};
 use sos_crypto::{DeviceIdentity, UserId};
 use sos_net::frame::DisconnectReason;
 use sos_net::session::SessionEvent;
@@ -50,6 +50,28 @@ impl Default for SosConfig {
     }
 }
 
+/// How long a fruitless browse (session that yielded zero new bundles)
+/// suppresses re-connecting to the same peer while neither side's
+/// summary changed. Gap-aware wants make peers with unhealable holes
+/// (e.g. fleet-wide TTL expiry of an author's early messages) register
+/// as news forever; without this backoff every encounter would re-run a
+/// full handshake to transfer nothing. One retry per window still heals
+/// holes the plain-text advertisement cannot reveal.
+const FUTILE_RETRY_BACKOFF: sos_sim::SimDuration = sos_sim::SimDuration::from_mins(30);
+
+/// The browse state a fruitless session is remembered by: retrying is
+/// pointless until one of the two summaries changes or the backoff
+/// expires.
+#[derive(Debug)]
+struct FutileMark {
+    /// The peer's advertised summary when we browsed.
+    ad_summary: BTreeMap<UserId, u64>,
+    /// Our own sync summary when the session closed empty.
+    my_summary: BTreeMap<UserId, u64>,
+    /// When the fruitless session closed.
+    at: SimTime,
+}
+
 /// Counters describing a node's dissemination activity; the repro
 /// harness aggregates these into the paper's §VI numbers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,6 +93,10 @@ pub struct SosStats {
     pub sessions_accepted: u64,
     /// Sync requests served.
     pub requests_served: u64,
+    /// Encrypted sync payload frames sent (requests, batched bundle
+    /// frames, done markers) — the per-encounter frame count the batched
+    /// v2 protocol exists to shrink.
+    pub sync_frames_sent: u64,
 }
 
 /// Events surfaced to the overlay application (§III-A: applications are
@@ -126,6 +152,15 @@ pub struct Sos {
     scheme_kind: SchemeKind,
     subscriptions: BTreeSet<UserId>,
     pending_interests: HashMap<PeerId, Vec<UserId>>,
+    /// `Done` frames still expected per peer: one per Request frame we
+    /// sent (a chunked request gets one Done per chunk from the server).
+    pending_dones: HashMap<PeerId, usize>,
+    /// Sessions we initiated that are still open: the peer's advertised
+    /// summary and the count of new bundles gained so far.
+    browse_progress: HashMap<PeerId, (BTreeMap<UserId, u64>, u64)>,
+    /// Peers whose last browse yielded nothing, with the state it
+    /// happened under (see [`FUTILE_RETRY_BACKOFF`]).
+    futile: HashMap<PeerId, FutileMark>,
     events: VecDeque<SosEvent>,
     stats: SosStats,
 }
@@ -152,6 +187,9 @@ impl Sos {
             scheme_kind: scheme,
             subscriptions: BTreeSet::new(),
             pending_interests: HashMap::new(),
+            pending_dones: HashMap::new(),
+            browse_progress: HashMap::new(),
+            futile: HashMap::new(),
             events: VecDeque::new(),
             stats: SosStats::default(),
         }
@@ -317,6 +355,8 @@ impl Sos {
     /// mechanism).
     pub fn on_peer_lost(&mut self, peer: PeerId) {
         self.pending_interests.remove(&peer);
+        self.pending_dones.remove(&peer);
+        self.browse_progress.remove(&peer);
         if self
             .adhoc
             .close(peer, DisconnectReason::OutOfRange)
@@ -396,15 +436,31 @@ impl Sos {
     ) {
         self.scheme.on_encounter(&ad.user_id, now);
         let me = self.user_id();
-        let summary = self.store.summary();
+        // Browse with the *contiguous-prefix* summary, not the raw
+        // latest: a node holding {5} of an author with {1..4} evicted
+        // reports watermark 0 here, so a peer advertising latest 5 still
+        // registers as news and the ranged request re-fetches the hole.
+        let summary = self.store.sync_summary();
         let ctx = Self::routing_ctx(&me, &self.subscriptions, &summary, now);
         let interests = self.scheme.interests(&ctx, ad);
         if interests.is_empty() || self.adhoc.has_session(from) {
             return;
         }
+        // Skip peers whose last browse under identical summaries came
+        // back empty — unhealable holes would otherwise trigger a
+        // fruitless handshake at every single encounter.
+        if let Some(mark) = self.futile.get(&from) {
+            if mark.ad_summary == ad.summary
+                && mark.my_summary == summary
+                && now.since(mark.at) < FUTILE_RETRY_BACKOFF
+            {
+                return;
+            }
+        }
         match self.adhoc.connect(from, rng) {
             Ok(frame) => {
                 self.pending_interests.insert(from, interests);
+                self.browse_progress.insert(from, (ad.summary.clone(), 0));
                 self.stats.sessions_initiated += 1;
                 out.push((from, frame));
             }
@@ -441,6 +497,8 @@ impl Sos {
             }
             Ok(SessionEvent::Closed(_)) => {
                 self.pending_interests.remove(&from);
+                self.pending_dones.remove(&from);
+                self.browse_progress.remove(&from);
                 self.events
                     .push_back(SosEvent::SessionClosed { peer: from });
             }
@@ -479,6 +537,8 @@ impl Sos {
                         .push_back(SosEvent::SessionClosed { peer: from });
                 }
                 self.pending_interests.remove(&from);
+                self.pending_dones.remove(&from);
+                self.browse_progress.remove(&from);
                 out.push((
                     from,
                     Frame::Disconnect {
@@ -494,7 +554,9 @@ impl Sos {
     }
 
     /// After our initiated session is established: request the authors we
-    /// picked at advertisement time (Fig. 2b "requests Alice's message").
+    /// picked at advertisement time (Fig. 2b "requests Alice's message"),
+    /// as gap-aware range sets — the peer serves exactly what our held
+    /// ranges are missing, holes included.
     fn send_request(&mut self, peer: PeerId, _now: SimTime, out: &mut Vec<(PeerId, Frame)>) {
         let interests = self.pending_interests.remove(&peer).unwrap_or_default();
         if interests.is_empty() {
@@ -503,17 +565,44 @@ impl Sos {
             }
             return;
         }
-        let wants: Vec<(UserId, u64)> = interests
+        let wants: Vec<AuthorWant> = interests
             .into_iter()
-            .map(|author| (author, self.store.latest_for(&author)))
+            .map(|author| AuthorWant {
+                have: self.store.ranges_for(&author),
+                author,
+            })
             .collect();
-        let payload = SyncMsg::Request { wants }.encode();
-        match self.adhoc.send_payload(peer, &payload) {
-            Ok(frame) => out.push((peer, frame)),
-            Err(_) => {
-                self.events.push_back(SosEvent::SessionClosed { peer });
+        let requests = SyncMsg::requests(wants);
+        // The advertiser answers every Request frame with its own Done;
+        // remember how many to expect so a chunked (multi-frame) request
+        // is not torn down after the first chunk's Done.
+        self.pending_dones.insert(peer, requests.len());
+        for msg in requests {
+            let payload = msg.encode().expect("chunked requests always encode");
+            match self.adhoc.send_payload(peer, &payload) {
+                Ok(frame) => {
+                    self.stats.sync_frames_sent += 1;
+                    out.push((peer, frame));
+                }
+                Err(_) => {
+                    self.close_broken_session(peer, out);
+                    return;
+                }
             }
         }
+    }
+
+    /// Tears down a session whose send path failed: notify the peer (if
+    /// a session still exists) so it does not idle until peer-loss, and
+    /// surface the closure to the application.
+    fn close_broken_session(&mut self, peer: PeerId, out: &mut Vec<(PeerId, Frame)>) {
+        if let Some(bye) = self.adhoc.close(peer, DisconnectReason::ProtocolError) {
+            out.push((peer, bye));
+        }
+        self.pending_interests.remove(&peer);
+        self.pending_dones.remove(&peer);
+        self.browse_progress.remove(&peer);
+        self.events.push_back(SosEvent::SessionClosed { peer });
     }
 
     fn on_sync_payload(
@@ -535,9 +624,52 @@ impl Sos {
             }
         };
         match msg {
-            SyncMsg::Request { wants } => self.serve_request(from, &wants, now, out),
+            SyncMsg::Request { wants } => {
+                // A v1 peer cannot decode v2 batch frames: answer its
+                // watermark request with v1 single-bundle frames.
+                let legacy = SyncMsg::is_v1_request(bytes);
+                self.serve_request(from, &wants, legacy, now, out)
+            }
             SyncMsg::Bundle(bundle) => self.receive_bundle(from, *bundle, now),
+            SyncMsg::Bundles(bundles) => {
+                for bundle in bundles {
+                    self.receive_bundle(from, bundle, now);
+                }
+            }
             SyncMsg::Done => {
+                // One Done arrives per Request frame we sent; close only
+                // on the last, or a chunked request would lose every
+                // chunk after the first.
+                match self.pending_dones.get_mut(&from) {
+                    Some(remaining) if *remaining > 1 => {
+                        *remaining -= 1;
+                        return;
+                    }
+                    _ => {
+                        self.pending_dones.remove(&from);
+                    }
+                }
+                // Remember a browse that gained nothing, so identical
+                // conditions do not re-trigger a session every
+                // encounter (see FUTILE_RETRY_BACKOFF).
+                if let Some((ad_summary, gain)) = self.browse_progress.remove(&from) {
+                    if gain == 0 {
+                        if self.futile.len() >= 4096 {
+                            self.futile
+                                .retain(|_, m| now.since(m.at) < FUTILE_RETRY_BACKOFF);
+                        }
+                        self.futile.insert(
+                            from,
+                            FutileMark {
+                                ad_summary,
+                                my_summary: self.store.sync_summary(),
+                                at: now,
+                            },
+                        );
+                    } else {
+                        self.futile.remove(&from);
+                    }
+                }
                 if let Some(bye) = self.adhoc.close(from, DisconnectReason::Done) {
                     out.push((from, bye));
                 }
@@ -547,29 +679,53 @@ impl Sos {
         }
     }
 
-    /// Advertiser side of Fig. 2b: stream the requested bundles, then
+    /// Advertiser side of Fig. 2b: serve the complement of the
+    /// requester's held ranges, packed into size-budgeted batch frames
+    /// (or one v1 frame per bundle when `legacy` requesters ask), then
     /// signal completion.
     fn serve_request(
         &mut self,
         from: PeerId,
-        wants: &[(UserId, u64)],
+        wants: &[AuthorWant],
+        legacy: bool,
         now: SimTime,
         out: &mut Vec<(PeerId, Frame)>,
     ) {
         self.stats.requests_served += 1;
         let peer_user = self.adhoc.peer_user(from);
-        let mut to_send: Vec<MessageId> = Vec::new();
-        for (author, after) in wants {
-            if let Some(user) = &peer_user {
-                self.scheme.on_peer_request(user, author, now);
+        let me = self.user_id();
+        let summary = self.store.summary();
+        // Demand observation first, for every requested author — even
+        // the ones the session cap below keeps us from serving this
+        // time — so demand-tracking schemes see the full interest.
+        if let Some(user) = &peer_user {
+            for want in wants {
+                self.scheme.on_peer_request(user, &want.author, now);
             }
-            for bundle in self.store.bundles_after(author, *after) {
+        }
+        let mut to_send: Vec<MessageId> = Vec::new();
+        let ctx = Self::routing_ctx(&me, &self.subscriptions, &summary, now);
+        'wants: for want in wants {
+            for bundle in self.store.bundles_missing_from(&want.author, &want.have) {
+                // The advertise policy gates the serve path too: a
+                // bundle the scheme hides (e.g. an exhausted
+                // spray-and-wait copy) must not leak just because the
+                // peer asked broadly.
+                if !self.scheme.should_advertise(&ctx, bundle) {
+                    continue;
+                }
                 if to_send.len() >= self.config.max_bundles_per_session {
-                    break;
+                    break 'wants;
                 }
                 to_send.push(bundle.message.id);
             }
         }
+        // `on_serve` mutates copy budgets as each batch is built, so a
+        // failed flush burns at most the current batch's budgets without
+        // delivery — the budget analogue of losing the frame tail;
+        // ranged wants re-fetch the bundles themselves next encounter.
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut batch_bytes = 0usize;
         for id in to_send {
             let Some(stored) = self.store.get_mut(&id) else {
                 continue;
@@ -577,17 +733,68 @@ impl Sos {
             let granted_copies = self.scheme.on_serve(stored);
             let mut outgoing = stored.clone();
             outgoing.copies = granted_copies;
-            let payload = SyncMsg::Bundle(Box::new(outgoing)).encode();
-            match self.adhoc.send_payload(from, &payload) {
-                Ok(frame) => {
-                    self.stats.bundles_sent += 1;
-                    out.push((from, frame));
+            let body = outgoing.encode();
+            if legacy {
+                let payload = SyncMsg::encode_single_bundle(&body);
+                match self.adhoc.send_payload(from, &payload) {
+                    Ok(frame) => {
+                        self.stats.bundles_sent += 1;
+                        self.stats.sync_frames_sent += 1;
+                        out.push((from, frame));
+                    }
+                    Err(_) => {
+                        self.close_broken_session(from, out);
+                        return;
+                    }
                 }
-                Err(_) => return,
+                continue;
             }
+            if !batch.is_empty() && batch_bytes + body.len() > sos_net::SYNC_BATCH_BUDGET {
+                if !self.flush_batch(from, &mut batch, out) {
+                    return;
+                }
+                batch_bytes = 0;
+            }
+            batch_bytes += body.len();
+            batch.push(body);
         }
-        if let Ok(frame) = self.adhoc.send_payload(from, &SyncMsg::Done.encode()) {
-            out.push((from, frame));
+        if !batch.is_empty() && !self.flush_batch(from, &mut batch, out) {
+            return;
+        }
+        let done = SyncMsg::Done.encode().expect("Done always encodes");
+        match self.adhoc.send_payload(from, &done) {
+            Ok(frame) => {
+                self.stats.sync_frames_sent += 1;
+                out.push((from, frame));
+            }
+            Err(_) => self.close_broken_session(from, out),
+        }
+    }
+
+    /// Sends one batched bundle frame, draining `batch`. Returns false —
+    /// after closing the session — if the send path failed, so the
+    /// caller stops serving instead of leaving the peer idling for a
+    /// `Done` that will never come.
+    fn flush_batch(
+        &mut self,
+        peer: PeerId,
+        batch: &mut Vec<Vec<u8>>,
+        out: &mut Vec<(PeerId, Frame)>,
+    ) -> bool {
+        let count = batch.len() as u64;
+        let payload = SyncMsg::encode_bundle_batch(batch);
+        batch.clear();
+        match self.adhoc.send_payload(peer, &payload) {
+            Ok(frame) => {
+                self.stats.bundles_sent += count;
+                self.stats.sync_frames_sent += 1;
+                out.push((peer, frame));
+                true
+            }
+            Err(_) => {
+                self.close_broken_session(peer, out);
+                false
+            }
         }
     }
 
@@ -608,6 +815,9 @@ impl Sos {
             return;
         }
         bundle.hops += 1;
+        if let Some((_, gain)) = self.browse_progress.get_mut(&from) {
+            *gain += 1;
+        }
         let id = bundle.message.id;
         if self.store.contains(&id) {
             self.stats.bundles_duplicate += 1;
@@ -1111,6 +1321,333 @@ mod tests {
             "cap enforced, got {}",
             bob.store().len()
         );
+    }
+
+    /// The headline gap-aware regression (fails under the v1 watermark
+    /// protocol): a subscriber that held `{5}` after TTL eviction of
+    /// `{1..4}` must re-fetch the hole from a peer still carrying it.
+    /// Under v1, `latest_for == 5` matched the advertised latest, so the
+    /// subscriber never reconnected and the middles were lost forever.
+    #[test]
+    fn ttl_eviction_hole_recovered_at_next_encounter() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::InterestBased);
+        let mut bob = Sos::with_config(
+            PeerId(1),
+            identity(&mut ca, 20, "bob"),
+            SchemeKind::InterestBased,
+            SosConfig {
+                bundle_ttl: Some(sos_sim::SimDuration::from_hours(24)),
+                ..SosConfig::default()
+            },
+        );
+        bob.subscribe(uid("alice"));
+        for n in 1..=4u64 {
+            alice
+                .post(MessageKind::Post, vec![n as u8], SimTime::from_secs(n))
+                .unwrap();
+        }
+        alice
+            .post(MessageKind::Post, vec![5], SimTime::from_hours(12))
+            .unwrap();
+
+        // First encounter at 13 h: everything within TTL, bob syncs 1..5.
+        browse(&mut alice, &mut bob, SimTime::from_hours(13));
+        assert_eq!(bob.store().ranges_for(&uid("alice")), vec![(1, 5)]);
+        bob.poll_events();
+
+        // At 30 h, maintenance expires 1..4 (created ≈ 0 s) but keeps 5
+        // (created 12 h): the store now holds exactly the hole shape.
+        bob.maintain(SimTime::from_hours(30));
+        assert_eq!(bob.store().ranges_for(&uid("alice")), vec![(5, 5)]);
+        assert_eq!(bob.store().holes_for(&uid("alice")), vec![(1, 4)]);
+        assert_eq!(
+            bob.store().latest_for(&uid("alice")),
+            5,
+            "v1 watermark blind spot"
+        );
+
+        // Next encounter: the ranged request re-fetches exactly 1..4 and
+        // delivers them to the application again.
+        browse(&mut alice, &mut bob, SimTime::from_hours(30));
+        let recovered: Vec<u64> = bob
+            .poll_events()
+            .iter()
+            .filter_map(|e| match e {
+                SosEvent::MessageReceived { id, .. } => Some(id.number),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            recovered,
+            vec![1, 2, 3, 4],
+            "hole re-fetched at next encounter"
+        );
+        assert_eq!(bob.stats().bundles_received, 9, "5 initial + 4 recovered");
+        assert_eq!(
+            bob.stats().bundles_duplicate,
+            0,
+            "nothing re-served needlessly"
+        );
+    }
+
+    /// Capacity eviction at a *forwarder* punches holes into what
+    /// downstream subscribers can pull; the ranged protocol lets them
+    /// heal the hole directly from the author later.
+    #[test]
+    fn forwarder_eviction_hole_healed_from_author() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
+        let mut carol = Sos::with_config(
+            PeerId(2),
+            identity(&mut ca, 30, "carol"),
+            SchemeKind::Epidemic,
+            SosConfig {
+                max_stored_bundles: Some(2),
+                ..SosConfig::default()
+            },
+        );
+        let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
+        for n in 1..=5u64 {
+            alice
+                .post(MessageKind::Post, vec![n as u8], SimTime::from_secs(n))
+                .unwrap();
+        }
+        // Carol relays but her cap keeps only the newest two.
+        browse(&mut alice, &mut carol, SimTime::from_secs(100));
+        carol.maintain(SimTime::from_secs(101));
+        assert_eq!(carol.store().ranges_for(&uid("alice")), vec![(4, 5)]);
+        // Bob (unconstrained) meets only carol first: he ends up with the
+        // tail and a hole.
+        browse(&mut carol, &mut bob, SimTime::from_secs(200));
+        assert_eq!(bob.store().ranges_for(&uid("alice")), vec![(4, 5)]);
+        assert_eq!(bob.store().latest_for(&uid("alice")), 5);
+        // Meeting the author later: under v1 the matching watermark (5)
+        // would suppress the session; the ranged request heals the hole.
+        browse(&mut alice, &mut bob, SimTime::from_secs(300));
+        assert_eq!(
+            bob.store().ranges_for(&uid("alice")),
+            vec![(1, 5)],
+            "missing middles recovered from the author"
+        );
+    }
+
+    /// Satellite regression: the serve path must honour the scheme's
+    /// advertise policy. An exhausted spray-and-wait copy
+    /// (`copies == Some(1)`) hidden from advertisements used to leak
+    /// anyway when a broad request matched it.
+    #[test]
+    fn serve_path_respects_advertise_policy() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::SprayAndWait);
+        let mut dave = node(&mut ca, 3, 40, "dave", SchemeKind::Epidemic);
+        // Bob carries two of carol's bundles: #1 exhausted, #2 sprayable.
+        let mut exhausted = crate::routing::testutil::bundle_from("carol", 1);
+        exhausted.copies = Some(1);
+        let mut sprayable = crate::routing::testutil::bundle_from("carol", 2);
+        sprayable.copies = Some(4);
+        bob.store.insert(exhausted);
+        bob.store.insert(sprayable);
+        // Bob's advertisement already hides #1 but shows carol@2; dave's
+        // broad pull (empty have set) must not leak #1 off the serve path.
+        let ad = bob.advertisement(SimTime::ZERO);
+        assert_eq!(ad.latest_for(&uid("carol")), Some(2));
+        browse(&mut bob, &mut dave, SimTime::ZERO);
+        let got: Vec<u64> = dave
+            .store()
+            .bundles_after(&uid("carol"), 0)
+            .iter()
+            .map(|b| b.message.id.number)
+            .collect();
+        assert_eq!(got, vec![2], "exhausted copy must not leak");
+        assert_eq!(bob.stats().bundles_sent, 1);
+    }
+
+    /// Bundles are batched into size-budgeted frames: a 60-message sync
+    /// takes a handful of payload frames, not one per bundle.
+    #[test]
+    fn serve_batches_bundles_under_budget() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
+        let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
+        for n in 0..60u64 {
+            alice
+                .post(MessageKind::Post, vec![n as u8; 16], SimTime::from_secs(n))
+                .unwrap();
+        }
+        browse(&mut alice, &mut bob, SimTime::from_secs(100));
+        assert_eq!(bob.store().len(), 60, "full transfer");
+        assert_eq!(alice.stats().bundles_sent, 60);
+        assert!(
+            alice.stats().sync_frames_sent <= 5,
+            "60 bundles must travel in a few batched frames, got {}",
+            alice.stats().sync_frames_sent
+        );
+    }
+
+    /// Satellite regression: a send failure while serving must close the
+    /// session (ProtocolError) and surface SessionClosed instead of
+    /// leaving the browser idling for a Done that never comes.
+    #[test]
+    fn serve_send_failure_closes_session() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
+        alice
+            .post(MessageKind::Post, b"x".to_vec(), SimTime::ZERO)
+            .unwrap();
+        // A request arrives attributed to a peer with no session: every
+        // send_payload fails, which must not early-return silently.
+        let wants = [AuthorWant {
+            author: uid("alice"),
+            have: vec![],
+        }];
+        let mut out = Vec::new();
+        alice.serve_request(PeerId(9), &wants, false, SimTime::ZERO, &mut out);
+        assert!(out.is_empty(), "no session ⇒ nothing to transmit");
+        assert!(
+            alice
+                .poll_events()
+                .iter()
+                .any(|e| matches!(e, SosEvent::SessionClosed { peer } if *peer == PeerId(9))),
+            "failure surfaced as SessionClosed"
+        );
+    }
+
+    /// An unhealable hole (both peers hold `{5}`, `{1..4}` gone
+    /// fleet-wide) must not cause a handshake storm: after one fruitless
+    /// browse, identical conditions suppress reconnection until the
+    /// backoff expires — and a retry after the backoff still heals the
+    /// hole once the peer actually has the middles.
+    #[test]
+    fn futile_browse_backs_off_then_retries_and_heals() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
+        let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
+        let tail = crate::routing::testutil::bundle_from("xauthor", 5);
+        alice.store.insert(tail.clone());
+        bob.store.insert(tail);
+
+        // First encounter: bob sees latest 5, holds prefix 0 → browses —
+        // and gains nothing, because alice has the identical hole.
+        let t = SimTime::from_secs(1000);
+        browse(&mut alice, &mut bob, t);
+        assert_eq!(bob.stats().sessions_initiated, 1);
+        assert_eq!(bob.stats().bundles_received, 0, "fruitless by design");
+
+        // Same conditions a minute later: suppressed.
+        browse(
+            &mut alice,
+            &mut bob,
+            t + sos_sim::SimDuration::from_secs(60),
+        );
+        assert_eq!(
+            bob.stats().sessions_initiated,
+            1,
+            "futile browse must not repeat while nothing changed"
+        );
+
+        // Alice later obtains the missing middles (the plain-text ad
+        // cannot show this — latest stays 5); after the backoff, bob's
+        // retry heals the hole.
+        for n in 1..=4 {
+            alice
+                .store
+                .insert(crate::routing::testutil::bundle_from("xauthor", n));
+        }
+        browse(
+            &mut alice,
+            &mut bob,
+            t + sos_sim::SimDuration::from_mins(31),
+        );
+        assert_eq!(bob.stats().sessions_initiated, 2, "backoff expired");
+        assert_eq!(
+            bob.store().ranges_for(&uid("xauthor")),
+            vec![(1, 5)],
+            "retry healed the hole"
+        );
+    }
+
+    /// A v1 (watermark) requester must be answered with frames its
+    /// decoder understands: single-bundle frames and Done, never a v2
+    /// batch.
+    #[test]
+    fn v1_requester_served_with_v1_frames() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
+        let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
+        for n in 0..3u8 {
+            alice
+                .post(MessageKind::Post, vec![n], SimTime::ZERO)
+                .unwrap();
+        }
+        // Establish a real session bob → alice.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let init = bob.adhoc.connect(alice.peer_id(), &mut rng).unwrap();
+        let reply = match alice.adhoc.on_frame(bob.peer_id(), init, 0, &mut rng) {
+            Ok(SessionEvent::Reply(f)) => f,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            bob.adhoc.on_frame(alice.peer_id(), reply, 0, &mut rng),
+            Ok(SessionEvent::Established(_))
+        ));
+        // Bob speaks v1: watermark request for everything of alice's.
+        let v1 = SyncMsg::encode_v1_request(&[(uid("alice"), 0)]);
+        let mut out = Vec::new();
+        alice.on_sync_payload(bob.peer_id(), &v1, SimTime::ZERO, &mut out);
+        assert_eq!(alice.stats().bundles_sent, 3);
+        // Decrypt each reply at bob and check it is v1-parseable.
+        let mut kinds = Vec::new();
+        for (_, frame) in out {
+            match bob.adhoc.on_frame(alice.peer_id(), frame, 0, &mut rng) {
+                Ok(SessionEvent::Payload(bytes)) => {
+                    kinds.push(match SyncMsg::decode(&bytes).unwrap() {
+                        SyncMsg::Bundle(_) => "bundle",
+                        SyncMsg::Done => "done",
+                        other => panic!("v1 peer cannot parse {other:?}"),
+                    });
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(kinds, vec!["bundle", "bundle", "bundle", "done"]);
+    }
+
+    /// A chunked (multi-frame) request is answered with one Done per
+    /// chunk; the browser must keep the session open until the last one
+    /// or every chunk after the first is lost.
+    #[test]
+    fn chunked_request_waits_for_all_dones() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut alice = node(&mut ca, 0, 10, "alice", SchemeKind::Epidemic);
+        let mut bob = node(&mut ca, 1, 20, "bob", SchemeKind::Epidemic);
+        // Establish a real session bob → alice.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let init = bob.adhoc.connect(alice.peer_id(), &mut rng).unwrap();
+        let reply = match alice.adhoc.on_frame(bob.peer_id(), init, 0, &mut rng) {
+            Ok(SessionEvent::Reply(f)) => f,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            bob.adhoc.on_frame(alice.peer_id(), reply, 0, &mut rng),
+            Ok(SessionEvent::Established(_))
+        ));
+        // Bob sent a two-chunk request (simulated): two Dones expected.
+        bob.pending_dones.insert(alice.peer_id(), 2);
+        let done = SyncMsg::Done.encode().unwrap();
+        let mut out = Vec::new();
+        bob.on_sync_payload(alice.peer_id(), &done, SimTime::ZERO, &mut out);
+        assert!(out.is_empty(), "first Done must not tear the session down");
+        assert_eq!(bob.session_count(), 1, "chunk 2's bundles can still land");
+        bob.on_sync_payload(alice.peer_id(), &done, SimTime::ZERO, &mut out);
+        assert_eq!(bob.session_count(), 0, "last Done closes");
+        assert_eq!(out.len(), 1, "goodbye sent once");
+        let closed = bob
+            .poll_events()
+            .iter()
+            .filter(|e| matches!(e, SosEvent::SessionClosed { .. }))
+            .count();
+        assert_eq!(closed, 1, "one SessionClosed for the whole exchange");
     }
 
     #[test]

@@ -111,6 +111,95 @@ impl MessageStore {
             .unwrap_or_default()
     }
 
+    /// The contiguous inclusive ranges `(start, end)` of message numbers
+    /// held for `author`, ascending. This is the `have` set of a
+    /// gap-aware sync request: the complement of these ranges is exactly
+    /// what a peer should serve.
+    pub fn ranges_for(&self, author: &UserId) -> Vec<(u64, u64)> {
+        let Some(msgs) = self.by_author.get(author) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for &n in msgs.keys() {
+            match out.last_mut() {
+                Some((_, end)) if n.checked_sub(1) == Some(*end) => *end = n,
+                _ => out.push((n, n)),
+            }
+        }
+        out
+    }
+
+    /// The gaps `(start, end)` inside `1..=latest` for `author` — the
+    /// message numbers eviction (or an interrupted transfer) has punched
+    /// out of the held sequence. Empty when nothing is held or the held
+    /// set is a contiguous prefix.
+    pub fn holes_for(&self, author: &UserId) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut next = 1u64;
+        for (start, end) in self.ranges_for(author) {
+            if start > next {
+                out.push((next, start - 1));
+            }
+            next = end.saturating_add(1);
+        }
+        out
+    }
+
+    /// The largest `n` such that every message `1..=n` of `author` is
+    /// held (0 if message 1 is missing). Unlike [`MessageStore::latest_for`],
+    /// this watermark never jumps over a hole, so comparing it against an
+    /// advertised latest detects missing middles.
+    pub fn contiguous_prefix_for(&self, author: &UserId) -> u64 {
+        // Hot path: called per author on every advertisement received
+        // (via sync_summary), so walk keys directly and stop at the
+        // first discontinuity instead of materializing the range set.
+        let Some(msgs) = self.by_author.get(author) else {
+            return 0;
+        };
+        let mut expected = 1u64;
+        for &n in msgs.keys() {
+            if n != expected {
+                break;
+            }
+            expected += 1;
+        }
+        expected - 1
+    }
+
+    /// The browse-side summary for gap-aware sync decisions:
+    /// `author → contiguous prefix held`. An author with a hole at the
+    /// bottom of their sequence maps to a low watermark, so any peer
+    /// advertising beyond it — including peers carrying only the evicted
+    /// middles — registers as news.
+    pub fn sync_summary(&self) -> BTreeMap<UserId, u64> {
+        self.by_author
+            .keys()
+            .map(|author| (*author, self.contiguous_prefix_for(author)))
+            .collect()
+    }
+
+    /// All stored bundles of `author` whose numbers are *not* covered by
+    /// the inclusive `have` ranges (which must be ascending and
+    /// disjoint, as [`MessageStore::ranges_for`] produces), ascending.
+    /// This is the serve-side complement of a gap-aware request.
+    pub fn bundles_missing_from(&self, author: &UserId, have: &[(u64, u64)]) -> Vec<&Bundle> {
+        let Some(msgs) = self.by_author.get(author) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut hi = 0usize;
+        for (&n, bundle) in msgs {
+            while hi < have.len() && have[hi].1 < n {
+                hi += 1;
+            }
+            let covered = hi < have.len() && have[hi].0 <= n && n <= have[hi].1;
+            if !covered {
+                out.push(bundle);
+            }
+        }
+        out
+    }
+
     /// Total number of stored bundles.
     pub fn len(&self) -> usize {
         self.by_author.values().map(|m| m.len()).sum()
@@ -337,6 +426,82 @@ mod tests {
         // Everything protected: nothing can be evicted even over limit.
         assert_eq!(store.evict_to_capacity(2, |_| true), 0);
         assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn ranges_and_holes_track_gaps() {
+        let mut store = MessageStore::new();
+        let alice = UserId::from_str_padded("alice");
+        assert!(store.ranges_for(&alice).is_empty());
+        assert!(store.holes_for(&alice).is_empty());
+        assert_eq!(store.contiguous_prefix_for(&alice), 0);
+        for n in [1, 2, 3, 6, 7, 10] {
+            store.insert(bundle("alice", n));
+        }
+        assert_eq!(store.ranges_for(&alice), vec![(1, 3), (6, 7), (10, 10)]);
+        assert_eq!(store.holes_for(&alice), vec![(4, 5), (8, 9)]);
+        assert_eq!(store.contiguous_prefix_for(&alice), 3);
+        assert_eq!(store.latest_for(&alice), 10);
+    }
+
+    #[test]
+    fn prefix_is_zero_when_first_message_missing() {
+        let mut store = MessageStore::new();
+        let alice = UserId::from_str_padded("alice");
+        store.insert(bundle("alice", 5));
+        assert_eq!(store.ranges_for(&alice), vec![(5, 5)]);
+        assert_eq!(store.holes_for(&alice), vec![(1, 4)]);
+        assert_eq!(store.contiguous_prefix_for(&alice), 0);
+        assert_eq!(store.latest_for(&alice), 5, "latest still overstates");
+        assert_eq!(store.sync_summary()[&alice], 0);
+    }
+
+    #[test]
+    fn sync_summary_uses_prefix_not_latest() {
+        let mut store = MessageStore::new();
+        store.insert(bundle("alice", 1));
+        store.insert(bundle("alice", 2));
+        store.insert(bundle("bob", 2));
+        let summary = store.sync_summary();
+        assert_eq!(summary[&UserId::from_str_padded("alice")], 2);
+        assert_eq!(summary[&UserId::from_str_padded("bob")], 0);
+    }
+
+    #[test]
+    fn bundles_missing_from_serves_the_complement() {
+        let mut store = MessageStore::new();
+        let alice = UserId::from_str_padded("alice");
+        for n in 1..=8 {
+            store.insert(bundle("alice", n));
+        }
+        let got: Vec<u64> = store
+            .bundles_missing_from(&alice, &[(2, 3), (6, 7)])
+            .iter()
+            .map(|b| b.message.id.number)
+            .collect();
+        assert_eq!(got, vec![1, 4, 5, 8]);
+        // Empty have set = serve everything held.
+        assert_eq!(store.bundles_missing_from(&alice, &[]).len(), 8);
+        // Fully covered = nothing to serve.
+        assert!(store.bundles_missing_from(&alice, &[(1, 8)]).is_empty());
+        // Unknown author = nothing.
+        assert!(store
+            .bundles_missing_from(&UserId::from_str_padded("bob"), &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn eviction_creates_visible_holes() {
+        let mut store = MessageStore::new();
+        for n in 1..=6 {
+            store.insert(bundle("alice", n)); // created_at = n seconds
+        }
+        // TTL eviction removes the oldest middle-free prefix 1..=3.
+        store.evict_older_than(SimTime::from_secs(4), |_| false);
+        let alice = UserId::from_str_padded("alice");
+        assert_eq!(store.ranges_for(&alice), vec![(4, 6)]);
+        assert_eq!(store.holes_for(&alice), vec![(1, 3)]);
+        assert_eq!(store.contiguous_prefix_for(&alice), 0);
     }
 
     #[test]

@@ -2,65 +2,246 @@
 //! once a secure session is up (paper Fig. 2b steps after the
 //! certificate exchange): the browser requests the authors it is
 //! interested in, the advertiser streams the bundles, then signals done.
+//!
+//! # Protocol v2: gap-aware ranged wants + batched bundle frames
+//!
+//! The original (v1) request carried `(author, highest number I hold)`
+//! watermarks. That loses information as soon as TTL or capacity
+//! eviction — or a capped, interrupted serve — leaves a *hole* in an
+//! author's sequence: a node holding `{5}` advertises watermark 5 and
+//! can never re-request `{1..4}`, so those messages are unreachable
+//! forever. v2 requests instead carry, per author, the **contiguous
+//! ranges the requester already holds** ([`AuthorWant`]); the advertiser
+//! serves exactly the complement of that range set, so evicted or missed
+//! middles are re-fetched at the next encounter.
+//!
+//! v2 also batches served bundles into [`SyncMsg::Bundles`] frames up to
+//! a size budget ([`sos_net::SYNC_BATCH_BUDGET`]) instead of one frame
+//! per bundle, cutting per-encounter frame count by an order of
+//! magnitude at scale. A mid-transfer disconnection still loses only the
+//! tail — at batch granularity — and the ranged wants re-fetch exactly
+//! the lost remainder at the next encounter.
+//!
+//! The wire tag doubles as the version: v1 frames (watermark requests,
+//! single-bundle frames) still decode, and the serve path answers a
+//! v1-framed request with v1 single-bundle frames (see
+//! [`SyncMsg::is_v1_request`]), so a v2 node fully interoperates with a
+//! v1 peer. Requests and batches between v2 nodes always use the v2
+//! frames.
 
 use crate::error::SosError;
 use crate::message::Bundle;
 use sos_crypto::UserId;
 
+/// Maximum authors in one encoded request (u16 count field).
+pub const MAX_REQUEST_AUTHORS: usize = u16::MAX as usize;
+
+/// Maximum have-ranges per author in one encoded request (u16 count
+/// field).
+pub const MAX_RANGES_PER_AUTHOR: usize = u16::MAX as usize;
+
+/// One author entry of a gap-aware request: the contiguous, ascending,
+/// disjoint inclusive ranges `(start, end)` of message numbers the
+/// requester already holds. The advertiser serves every stored bundle of
+/// `author` *not* covered by `have` — an empty `have` asks for
+/// everything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthorWant {
+    /// The author whose messages are requested.
+    pub author: UserId,
+    /// Inclusive `(start, end)` ranges already held, ascending, disjoint
+    /// and non-adjacent (canonical form; numbers start at 1).
+    pub have: Vec<(u64, u64)>,
+}
+
+impl AuthorWant {
+    /// True if `number` is covered by the `have` ranges (i.e. the
+    /// requester claims to hold it already).
+    pub fn holds(&self, number: u64) -> bool {
+        self.have.iter().any(|&(s, e)| s <= number && number <= e)
+    }
+}
+
 /// A message-manager payload inside an encrypted session frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SyncMsg {
-    /// "Send me messages from these authors, numbered after these."
+    /// "Send me the messages of these authors that my `have` ranges are
+    /// missing."
     Request {
-        /// `(author, highest number I already have)` pairs.
-        wants: Vec<(UserId, u64)>,
+        /// Per-author range sets held by the requester.
+        wants: Vec<AuthorWant>,
     },
-    /// One bundle in flight (one frame per bundle so that mid-transfer
-    /// disconnections lose only the tail, which the message manager
-    /// re-requests at the next encounter).
+    /// One bundle in flight (legacy v1 framing; still decoded and
+    /// served for interop, no longer produced by the serve path).
     Bundle(Box<Bundle>),
+    /// A batch of bundles packed up to [`sos_net::SYNC_BATCH_BUDGET`]
+    /// encoded bytes. Mid-transfer disconnections lose only the tail, at
+    /// batch granularity; ranged wants re-fetch the remainder at the
+    /// next encounter.
+    Bundles(Vec<Bundle>),
     /// Transfer complete.
     Done,
 }
 
-const TAG_REQUEST: u8 = 1;
+const TAG_REQUEST_V1: u8 = 1;
 const TAG_BUNDLE: u8 = 2;
 const TAG_DONE: u8 = 3;
+const TAG_REQUEST_V2: u8 = 4;
+const TAG_BUNDLES: u8 = 5;
+
+/// Cap pre-allocations derived from attacker-controlled count fields.
+const MAX_PREALLOC: usize = 1024;
 
 impl SyncMsg {
-    /// Encodes for transmission inside a session payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes for transmission inside a session payload. Requests are
+    /// always emitted in the v2 (ranged) format.
+    ///
+    /// # Errors
+    ///
+    /// [`SosError::RequestTooLarge`] if a request exceeds
+    /// [`MAX_REQUEST_AUTHORS`] authors or any author exceeds
+    /// [`MAX_RANGES_PER_AUTHOR`] ranges — counts that would silently
+    /// corrupt the u16 wire fields. Use [`SyncMsg::requests`] to chunk
+    /// oversized want lists instead of failing.
+    pub fn encode(&self) -> Result<Vec<u8>, SosError> {
         match self {
             SyncMsg::Request { wants } => {
-                let mut buf = Vec::with_capacity(3 + wants.len() * 18);
-                buf.push(TAG_REQUEST);
-                buf.extend_from_slice(&(wants.len() as u16).to_le_bytes());
-                for (user, after) in wants {
-                    buf.extend_from_slice(user.as_bytes());
-                    buf.extend_from_slice(&after.to_le_bytes());
+                if wants.len() > MAX_REQUEST_AUTHORS {
+                    return Err(SosError::RequestTooLarge {
+                        entries: wants.len(),
+                    });
                 }
-                buf
+                let ranges: usize = wants.iter().map(|w| w.have.len()).sum();
+                let mut buf = Vec::with_capacity(3 + wants.len() * 12 + ranges * 16);
+                buf.push(TAG_REQUEST_V2);
+                buf.extend_from_slice(&(wants.len() as u16).to_le_bytes());
+                for want in wants {
+                    if want.have.len() > MAX_RANGES_PER_AUTHOR {
+                        return Err(SosError::RequestTooLarge {
+                            entries: want.have.len(),
+                        });
+                    }
+                    buf.extend_from_slice(want.author.as_bytes());
+                    buf.extend_from_slice(&(want.have.len() as u16).to_le_bytes());
+                    for (start, end) in &want.have {
+                        buf.extend_from_slice(&start.to_le_bytes());
+                        buf.extend_from_slice(&end.to_le_bytes());
+                    }
+                }
+                Ok(buf)
             }
             SyncMsg::Bundle(bundle) => {
                 let body = bundle.encode();
                 let mut buf = Vec::with_capacity(1 + body.len());
                 buf.push(TAG_BUNDLE);
                 buf.extend_from_slice(&body);
-                buf
+                Ok(buf)
             }
-            SyncMsg::Done => vec![TAG_DONE],
+            SyncMsg::Bundles(bundles) => {
+                let mut buf = Vec::with_capacity(32);
+                buf.push(TAG_BUNDLES);
+                buf.extend_from_slice(&(bundles.len() as u32).to_le_bytes());
+                for bundle in bundles {
+                    let body = bundle.encode();
+                    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&body);
+                }
+                Ok(buf)
+            }
+            SyncMsg::Done => Ok(vec![TAG_DONE]),
         }
     }
 
-    /// Decodes a session payload.
+    /// Builds the request frames for `wants`, chunking so every frame
+    /// stays within the wire format's u16 count fields. Authors with
+    /// more than [`MAX_RANGES_PER_AUTHOR`] have-ranges keep only their
+    /// first ranges — the advertiser may then re-serve some held middles,
+    /// which the receiver's duplicate suppression discards; nothing is
+    /// lost.
+    pub fn requests(wants: Vec<AuthorWant>) -> Vec<SyncMsg> {
+        let mut wants = wants;
+        for want in &mut wants {
+            want.have.truncate(MAX_RANGES_PER_AUTHOR);
+        }
+        if wants.is_empty() {
+            return vec![SyncMsg::Request { wants }];
+        }
+        let mut out = Vec::with_capacity(wants.len().div_ceil(MAX_REQUEST_AUTHORS));
+        while !wants.is_empty() {
+            let rest = wants.split_off(wants.len().min(MAX_REQUEST_AUTHORS));
+            out.push(SyncMsg::Request { wants });
+            wants = rest;
+        }
+        out
+    }
+
+    /// True if `bytes` frame a v1 (watermark) request. The serve path
+    /// uses this to answer v1 peers with v1 single-bundle frames they
+    /// can decode, instead of v2 batches.
+    pub fn is_v1_request(bytes: &[u8]) -> bool {
+        bytes.first() == Some(&TAG_REQUEST_V1)
+    }
+
+    /// Encodes a batched bundle frame directly from pre-encoded bundle
+    /// bodies. Wire-identical to encoding [`SyncMsg::Bundles`] of the
+    /// same bundles — the serve path sizes its batches by encoded
+    /// length, so this avoids serializing every bundle a second time.
+    pub fn encode_bundle_batch(bodies: &[Vec<u8>]) -> Vec<u8> {
+        let total: usize = bodies.iter().map(|b| 4 + b.len()).sum();
+        let mut buf = Vec::with_capacity(5 + total);
+        buf.push(TAG_BUNDLES);
+        buf.extend_from_slice(&(bodies.len() as u32).to_le_bytes());
+        for body in bodies {
+            buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            buf.extend_from_slice(body);
+        }
+        buf
+    }
+
+    /// Encodes a v1 single-bundle frame from a pre-encoded bundle body
+    /// (the legacy serve path for v1 requesters).
+    pub fn encode_single_bundle(body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1 + body.len());
+        buf.push(TAG_BUNDLE);
+        buf.extend_from_slice(body);
+        buf
+    }
+
+    /// Encodes a v1 (watermark) request: `(author, highest number held)`
+    /// pairs. Kept for wire back-compat tests and for driving v1-only
+    /// peers; new code sends ranged requests via [`SyncMsg::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_REQUEST_AUTHORS`] entries (the legacy format
+    /// cannot express more; v1 senders never reached this in practice).
+    pub fn encode_v1_request(wants: &[(UserId, u64)]) -> Vec<u8> {
+        assert!(wants.len() <= MAX_REQUEST_AUTHORS, "v1 request overflow");
+        let mut buf = Vec::with_capacity(3 + wants.len() * 18);
+        buf.push(TAG_REQUEST_V1);
+        buf.extend_from_slice(&(wants.len() as u16).to_le_bytes());
+        for (user, after) in wants {
+            buf.extend_from_slice(user.as_bytes());
+            buf.extend_from_slice(&after.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a session payload (either protocol version).
+    ///
+    /// A v1 watermark `(author, after)` decodes as the range set
+    /// `[1..=after]` — the complement, and therefore the serve
+    /// behaviour, is exactly what a v1 peer expects.
     ///
     /// # Errors
     ///
-    /// [`SosError::Malformed`] on any structural problem.
+    /// [`SosError::Malformed`] on any structural problem, including
+    /// non-canonical range sets (unordered, overlapping or adjacent
+    /// ranges, zero message numbers, inverted bounds).
     pub fn decode(bytes: &[u8]) -> Result<SyncMsg, SosError> {
         let (&tag, rest) = bytes.split_first().ok_or(SosError::Malformed)?;
         match tag {
-            TAG_REQUEST => {
+            TAG_REQUEST_V1 => {
                 if rest.len() < 2 {
                     return Err(SosError::Malformed);
                 }
@@ -69,18 +250,68 @@ impl SyncMsg {
                 if body.len() != count * 18 {
                     return Err(SosError::Malformed);
                 }
-                let mut wants = Vec::with_capacity(count);
+                let mut wants = Vec::with_capacity(count.min(MAX_PREALLOC));
                 for chunk in body.chunks_exact(18) {
                     let mut user = [0u8; 10];
                     user.copy_from_slice(&chunk[..10]);
                     let after = u64::from_le_bytes(chunk[10..].try_into().expect("len 8"));
-                    wants.push((UserId(user), after));
+                    wants.push(AuthorWant {
+                        author: UserId(user),
+                        have: if after == 0 {
+                            Vec::new()
+                        } else {
+                            vec![(1, after)]
+                        },
+                    });
                 }
+                Ok(SyncMsg::Request { wants })
+            }
+            TAG_REQUEST_V2 => {
+                let mut cur = Cursor(rest);
+                let count = cur.u16()? as usize;
+                let mut wants = Vec::with_capacity(count.min(MAX_PREALLOC));
+                for _ in 0..count {
+                    let author = UserId(cur.array::<10>()?);
+                    let ranges = cur.u16()? as usize;
+                    let mut have = Vec::with_capacity(ranges.min(MAX_PREALLOC));
+                    let mut prev_end: Option<u64> = None;
+                    for _ in 0..ranges {
+                        let start = cur.u64()?;
+                        let end = cur.u64()?;
+                        // Canonical form only: numbers start at 1, ranges
+                        // ascend, and adjacent runs must be merged.
+                        if start == 0 || end < start {
+                            return Err(SosError::Malformed);
+                        }
+                        if let Some(prev) = prev_end {
+                            if start <= prev.saturating_add(1) {
+                                return Err(SosError::Malformed);
+                            }
+                        }
+                        prev_end = Some(end);
+                        have.push((start, end));
+                    }
+                    wants.push(AuthorWant { author, have });
+                }
+                cur.finish()?;
                 Ok(SyncMsg::Request { wants })
             }
             TAG_BUNDLE => Bundle::decode(rest)
                 .map(|b| SyncMsg::Bundle(Box::new(b)))
                 .map_err(|_| SosError::Malformed),
+            TAG_BUNDLES => {
+                let mut cur = Cursor(rest);
+                let count = cur.u32()? as usize;
+                let mut bundles = Vec::with_capacity(count.min(MAX_PREALLOC));
+                for _ in 0..count {
+                    let len = cur.u32()? as usize;
+                    let body = cur.slice(len)?;
+                    let bundle = Bundle::decode(body).map_err(|_| SosError::Malformed)?;
+                    bundles.push(bundle);
+                }
+                cur.finish()?;
+                Ok(SyncMsg::Bundles(bundles))
+            }
             TAG_DONE => {
                 if rest.is_empty() {
                     Ok(SyncMsg::Done)
@@ -89,6 +320,47 @@ impl SyncMsg {
                 }
             }
             _ => Err(SosError::Malformed),
+        }
+    }
+}
+
+/// A panic-free little-endian read cursor for hostile bytes.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn slice(&mut self, n: usize) -> Result<&'a [u8], SosError> {
+        if self.0.len() < n {
+            return Err(SosError::Malformed);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], SosError> {
+        let raw = self.slice(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(raw);
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, SosError> {
+        Ok(u16::from_le_bytes(self.array::<2>()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, SosError> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, SosError> {
+        Ok(u64::from_le_bytes(self.array::<8>()?))
+    }
+
+    fn finish(&self) -> Result<(), SosError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(SosError::Malformed)
         }
     }
 }
@@ -102,41 +374,180 @@ mod tests {
     use sos_crypto::x25519::AgreementKey;
     use sos_sim::SimTime;
 
+    fn test_bundle(number: u64) -> Bundle {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let uid = UserId::from_str_padded("alice");
+        let cert = ca.issue(uid, "Alice", sk.verifying_key(), *ak.public(), 0);
+        let m = SosMessage::create(
+            &sk,
+            uid,
+            number,
+            SimTime::ZERO,
+            MessageKind::Post,
+            vec![1, 2, 3],
+        );
+        crate::message::Bundle::new(m, cert)
+    }
+
+    fn want(author: &str, have: &[(u64, u64)]) -> AuthorWant {
+        AuthorWant {
+            author: UserId::from_str_padded(author),
+            have: have.to_vec(),
+        }
+    }
+
     #[test]
     fn request_roundtrip() {
         let msg = SyncMsg::Request {
             wants: vec![
-                (UserId::from_str_padded("alice"), 5),
-                (UserId::from_str_padded("bob"), 0),
+                want("alice", &[(1, 5), (9, 12)]),
+                want("bob", &[]),
+                want("carol", &[(4, 4)]),
             ],
         };
-        assert_eq!(SyncMsg::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(SyncMsg::decode(&msg.encode().unwrap()).unwrap(), msg);
     }
 
     #[test]
     fn empty_request_roundtrip() {
         let msg = SyncMsg::Request { wants: vec![] };
-        assert_eq!(SyncMsg::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(SyncMsg::decode(&msg.encode().unwrap()).unwrap(), msg);
     }
 
     #[test]
     fn done_roundtrip() {
         assert_eq!(
-            SyncMsg::decode(&SyncMsg::Done.encode()).unwrap(),
+            SyncMsg::decode(&SyncMsg::Done.encode().unwrap()).unwrap(),
             SyncMsg::Done
         );
     }
 
     #[test]
     fn bundle_roundtrip() {
-        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
-        let sk = SigningKey::from_seed([2u8; 32]);
-        let ak = AgreementKey::from_secret([3u8; 32]);
-        let uid = UserId::from_str_padded("alice");
-        let cert = ca.issue(uid, "Alice", sk.verifying_key(), *ak.public(), 0);
-        let m = SosMessage::create(&sk, uid, 1, SimTime::ZERO, MessageKind::Post, vec![1, 2, 3]);
-        let msg = SyncMsg::Bundle(Box::new(crate::message::Bundle::new(m, cert)));
-        assert_eq!(SyncMsg::decode(&msg.encode()).unwrap(), msg);
+        let msg = SyncMsg::Bundle(Box::new(test_bundle(1)));
+        assert_eq!(SyncMsg::decode(&msg.encode().unwrap()).unwrap(), msg);
+    }
+
+    #[test]
+    fn bundles_batch_roundtrip() {
+        let msg = SyncMsg::Bundles(vec![test_bundle(1), test_bundle(2), test_bundle(3)]);
+        assert_eq!(SyncMsg::decode(&msg.encode().unwrap()).unwrap(), msg);
+        let empty = SyncMsg::Bundles(vec![]);
+        assert_eq!(SyncMsg::decode(&empty.encode().unwrap()).unwrap(), empty);
+    }
+
+    #[test]
+    fn preencoded_helpers_match_enum_encoding() {
+        let bundles = vec![test_bundle(1), test_bundle(2)];
+        let bodies: Vec<Vec<u8>> = bundles.iter().map(Bundle::encode).collect();
+        assert_eq!(
+            SyncMsg::encode_bundle_batch(&bodies),
+            SyncMsg::Bundles(bundles.clone()).encode().unwrap()
+        );
+        assert_eq!(
+            SyncMsg::encode_single_bundle(&bodies[0]),
+            SyncMsg::Bundle(Box::new(bundles[0].clone()))
+                .encode()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn v1_request_detection() {
+        let v1 = SyncMsg::encode_v1_request(&[(UserId::from_str_padded("alice"), 3)]);
+        assert!(SyncMsg::is_v1_request(&v1));
+        let v2 = SyncMsg::Request { wants: vec![] }.encode().unwrap();
+        assert!(!SyncMsg::is_v1_request(&v2));
+        assert!(!SyncMsg::is_v1_request(&[]));
+    }
+
+    #[test]
+    fn v1_watermark_decodes_as_prefix_ranges() {
+        let uid_a = UserId::from_str_padded("alice");
+        let uid_b = UserId::from_str_padded("bob");
+        let bytes = SyncMsg::encode_v1_request(&[(uid_a, 5), (uid_b, 0)]);
+        let decoded = SyncMsg::decode(&bytes).unwrap();
+        assert_eq!(
+            decoded,
+            SyncMsg::Request {
+                wants: vec![want("alice", &[(1, 5)]), want("bob", &[])],
+            }
+        );
+    }
+
+    #[test]
+    fn author_want_holds() {
+        let w = want("alice", &[(1, 3), (7, 7)]);
+        assert!(w.holds(1) && w.holds(3) && w.holds(7));
+        assert!(!w.holds(4) && !w.holds(6) && !w.holds(8));
+        assert!(!want("alice", &[]).holds(1));
+    }
+
+    #[test]
+    fn non_canonical_ranges_rejected() {
+        for have in [
+            vec![(0u64, 3u64)],          // numbers start at 1
+            vec![(5, 3)],                // inverted
+            vec![(1, 3), (3, 6)],        // overlapping
+            vec![(1, 3), (4, 6)],        // adjacent (must be merged)
+            vec![(7, 9), (1, 3)],        // descending
+            vec![(1, u64::MAX), (3, 4)], // nothing may follow a MAX end
+        ] {
+            // Hand-encode: the encoder is not the unit under test here.
+            let mut buf = vec![4u8, 1, 0]; // TAG_REQUEST_V2, one author
+            buf.extend_from_slice(UserId::from_str_padded("alice").as_bytes());
+            buf.extend_from_slice(&(have.len() as u16).to_le_bytes());
+            for (s, e) in &have {
+                buf.extend_from_slice(&s.to_le_bytes());
+                buf.extend_from_slice(&e.to_le_bytes());
+            }
+            assert_eq!(
+                SyncMsg::decode(&buf).unwrap_err(),
+                SosError::Malformed,
+                "{have:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_request_errors_instead_of_truncating() {
+        // One author over the u16 boundary must refuse to encode: the v1
+        // encoder silently truncated the count field here.
+        let wants: Vec<AuthorWant> = (0..MAX_REQUEST_AUTHORS + 1)
+            .map(|i| want(&format!("u{i}"), &[]))
+            .collect();
+        let at_boundary = SyncMsg::Request {
+            wants: wants[..MAX_REQUEST_AUTHORS].to_vec(),
+        };
+        let decoded = SyncMsg::decode(&at_boundary.encode().unwrap()).unwrap();
+        assert_eq!(decoded, at_boundary, "exactly u16::MAX authors is legal");
+        let over = SyncMsg::Request { wants };
+        assert_eq!(
+            over.encode().unwrap_err(),
+            SosError::RequestTooLarge {
+                entries: MAX_REQUEST_AUTHORS + 1
+            }
+        );
+    }
+
+    #[test]
+    fn requests_chunk_oversized_want_lists() {
+        let wants: Vec<AuthorWant> = (0..MAX_REQUEST_AUTHORS + 2)
+            .map(|i| want(&format!("u{i}"), &[(1, i as u64 + 1)]))
+            .collect();
+        let msgs = SyncMsg::requests(wants.clone());
+        assert_eq!(msgs.len(), 2);
+        let mut reassembled = Vec::new();
+        for msg in msgs {
+            let bytes = msg.encode().expect("chunked requests always encode");
+            match SyncMsg::decode(&bytes).unwrap() {
+                SyncMsg::Request { wants } => reassembled.extend(wants),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(reassembled, wants, "chunking loses nothing");
     }
 
     #[test]
@@ -148,14 +559,63 @@ mod tests {
             SosError::Malformed
         );
         assert_eq!(
-            SyncMsg::decode(&[TAG_REQUEST, 2, 0, 1]).unwrap_err(),
+            SyncMsg::decode(&[TAG_REQUEST_V1, 2, 0, 1]).unwrap_err(),
             SosError::Malformed
         );
+        // Truncated v2 request and truncated batch.
+        assert_eq!(
+            SyncMsg::decode(&[TAG_REQUEST_V2, 1, 0, 7]).unwrap_err(),
+            SosError::Malformed
+        );
+        assert_eq!(
+            SyncMsg::decode(&[TAG_BUNDLES, 2, 0, 0, 0, 5]).unwrap_err(),
+            SosError::Malformed
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_rejected() {
+        let msg = SyncMsg::Request {
+            wants: vec![want("alice", &[(1, 5), (9, 12)]), want("bob", &[(2, 2)])],
+        };
+        let bytes = msg.encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                SyncMsg::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     mod fuzz {
         use super::*;
         use proptest::prelude::*;
+
+        fn arb_wants() -> impl Strategy<Value = Vec<AuthorWant>> {
+            // Canonical range sets: strictly ascending with gaps ≥ 2.
+            let ranges = prop::collection::vec((1u64..1000, 0u64..50), 0..5).prop_map(|steps| {
+                let mut have = Vec::new();
+                let mut next = 1u64;
+                for (gap, len) in steps {
+                    let start = next + gap; // ≥ next + 1 ⇒ non-adjacent
+                    let end = start + len;
+                    have.push((start, end));
+                    next = end + 1;
+                }
+                have
+            });
+            prop::collection::vec(
+                (prop::collection::vec(any::<u8>(), 10), ranges).prop_map(|(id, have)| {
+                    let mut user = [0u8; 10];
+                    user.copy_from_slice(&id);
+                    AuthorWant {
+                        author: UserId(user),
+                        have,
+                    }
+                }),
+                0..8,
+            )
+        }
 
         proptest! {
             /// Decrypted-but-hostile session payloads must never panic
@@ -169,6 +629,22 @@ mod tests {
             #[test]
             fn bundle_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
                 let _ = crate::message::Bundle::decode(&bytes);
+            }
+
+            /// Ditto with a valid v2 tag in front of arbitrary bytes.
+            #[test]
+            fn tagged_decode_never_panics(tag in 0u8..8, bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+                let mut framed = vec![tag];
+                framed.extend_from_slice(&bytes);
+                let _ = SyncMsg::decode(&framed);
+            }
+
+            /// Canonical ranged requests roundtrip exactly.
+            #[test]
+            fn ranged_request_roundtrips(wants in arb_wants()) {
+                let msg = SyncMsg::Request { wants };
+                let bytes = msg.encode().unwrap();
+                prop_assert_eq!(SyncMsg::decode(&bytes).unwrap(), msg);
             }
         }
     }

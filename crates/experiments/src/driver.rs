@@ -104,6 +104,12 @@ pub struct Driver<C: ContactSource = World> {
     followers: Vec<Vec<usize>>,
     user_index: BTreeMap<sos_crypto::UserId, usize>,
     queue: EventQueue<Event>,
+    /// Last scheduled arrival per directed `(src, dst)` pair: the MPC
+    /// substrate is a reliable *ordered* byte stream, so a small frame
+    /// (shorter serialization delay) must never overtake a large one
+    /// sent earlier on the same link — the session layer's strictly
+    /// increasing sequence numbers depend on it.
+    in_flight: BTreeMap<(usize, usize), SimTime>,
     rng: rand::rngs::StdRng,
     config: DriverConfig,
     end: SimTime,
@@ -140,6 +146,7 @@ impl<C: ContactSource> Driver<C> {
             followers,
             user_index,
             queue: EventQueue::new(),
+            in_flight: BTreeMap::new(),
             rng,
             config,
             end,
@@ -224,8 +231,17 @@ impl<C: ContactSource> Driver<C> {
             return;
         }
         let delay = link.delay_for(frame.wire_size());
+        // In-order delivery per directed link (see `in_flight`): clamp
+        // the arrival to no earlier than the previous frame's; equal
+        // times pop FIFO, preserving the send order.
+        let mut arrival = now + delay;
+        let slot = self.in_flight.entry((src, dst)).or_insert(arrival);
+        if arrival < *slot {
+            arrival = *slot;
+        }
+        *slot = arrival;
         self.queue
-            .schedule(now + delay, Event::Deliver { src, dst, frame });
+            .schedule(arrival, Event::Deliver { src, dst, frame });
     }
 
     fn on_deliver(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
@@ -309,6 +325,7 @@ impl<C: ContactSource> Driver<C> {
             total.sessions_initiated += s.sessions_initiated;
             total.sessions_accepted += s.sessions_accepted;
             total.requests_served += s.requests_served;
+            total.sync_frames_sent += s.sync_frames_sent;
         }
         total
     }
@@ -327,6 +344,7 @@ pub fn aggregate_stats(apps: &[AlleyOopApp]) -> SosStats {
         total.sessions_initiated += s.sessions_initiated;
         total.sessions_accepted += s.sessions_accepted;
         total.requests_served += s.requests_served;
+        total.sync_frames_sent += s.sync_frames_sent;
     }
     total
 }

@@ -12,6 +12,9 @@
 //!   `sos-engine` grid contact kernel (extension)
 //! * [`density`] — conventional-simulation vs field-study density
 //!   (the §VI-B discussion, extension)
+//! * [`eviction`] — delivery under store eviction: holes punched by
+//!   TTL/capacity limits and their recovery by the gap-aware (v2) sync
+//!   protocol (extension)
 //!
 //! Run `cargo run --release -p sos-experiments --bin repro -- all` to
 //! print every reproduced figure.
@@ -22,6 +25,7 @@
 pub mod ablation;
 pub mod density;
 pub mod driver;
+pub mod eviction;
 pub mod report;
 pub mod scenario;
 pub mod social;

@@ -14,6 +14,17 @@ use sos_crypto::cert::Certificate;
 use sos_crypto::{Signature, UserId};
 use std::collections::BTreeMap;
 
+/// Size budget, in encoded bundle bytes, for one batched sync payload
+/// (`SyncMsg::Bundles`). The message manager packs served bundles into a
+/// frame until the next bundle would cross this budget, then starts a
+/// new frame; a bundle larger than the budget still travels alone (the
+/// budget bounds batching, not bundle size). Chosen well above the
+/// typical post (a few hundred bytes with certificate) so a 200-bundle
+/// session fits in a handful of frames, and well below what a short
+/// Bluetooth contact can flush, preserving lose-only-the-tail behaviour
+/// at batch granularity.
+pub const SYNC_BATCH_BUDGET: usize = 32 * 1024;
+
 /// Why a session was torn down.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DisconnectReason {

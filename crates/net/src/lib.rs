@@ -34,7 +34,7 @@ pub mod session;
 
 pub use advertisement::Advertisement;
 pub use error::NetError;
-pub use frame::Frame;
+pub use frame::{Frame, SYNC_BATCH_BUDGET};
 pub use handshake::{HandshakeInit, HandshakeResponse, Initiator, Responder, SessionCrypto};
 pub use link::LinkModel;
 pub use peer::PeerId;
