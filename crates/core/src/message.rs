@@ -190,6 +190,22 @@ impl Bundle {
         Ok(())
     }
 
+    /// True when two bundles carry the same message (id, timestamp,
+    /// kind, payload, author signature — everything the author signed)
+    /// *and* the same certificate envelope. Hop count and copy budget
+    /// are transport metadata and deliberately excluded.
+    ///
+    /// A bundle that content-matches an already *verified* copy needs no
+    /// re-verification: the author signature covers the compared message
+    /// fields, and the certificate bytes being identical means the
+    /// held copy's certificate validation vouches for this one too —
+    /// which is what lets the middleware dedup before running any
+    /// crypto. A matching message under a *different* certificate (e.g.
+    /// a renewal) is not a content match and must be re-verified.
+    pub fn content_matches(&self, other: &Bundle) -> bool {
+        self.message == other.message && self.author_certificate == other.author_certificate
+    }
+
     /// Wire encoding.
     pub fn encode(&self) -> Vec<u8> {
         let cert = self.author_certificate.to_bytes();

@@ -798,10 +798,78 @@ impl Sos {
         }
     }
 
-    /// Receiver side: verify (§IV), deduplicate, store per the routing
-    /// scheme, and surface to the application.
+    /// Receiver side: deduplicate against the store, verify (§IV) only
+    /// what is actually new, store per the routing scheme, and surface
+    /// to the application.
+    ///
+    /// Dedup runs **before** verification: a duplicate whose content
+    /// matches the held (already verified) copy only needs the hop-count
+    /// merge, not four scalar multiplications — with PR 2's ~200-bundle
+    /// batched encounters this is the difference between crypto being
+    /// the dominant per-encounter cost and a rounding error. The merge
+    /// is guarded by content equality, so a forged bundle reusing a
+    /// stored id cannot poison hop counts without passing the full
+    /// verification itself.
     fn receive_bundle(&mut self, from: PeerId, mut bundle: Bundle, now: SimTime) {
         self.stats.bundles_received += 1;
+        let id = bundle.message.id;
+        if let Some(held) = self.store.get(&id) {
+            if bundle.content_matches(held) {
+                self.stats.bundles_duplicate += 1;
+                // Same signed bytes we already verified. A duplicate
+                // that arrived over a shorter path still improves what
+                // we know (and relay) about the message: keep the
+                // minimum hop count.
+                bundle.hops += 1;
+                self.store.insert(bundle);
+                return;
+            }
+            // Same id, different bytes: the full verification must run
+            // to classify what we got — and only a certificate-renewal
+            // duplicate may still touch the stored copy.
+            let same_message = bundle.message == held.message;
+            let validator = self.adhoc.identity().validator();
+            let detail = match bundle.verify(validator, now.as_secs()) {
+                Ok(()) if same_message => {
+                    // The identical signed message wrapped in a
+                    // *different but valid* certificate for the same
+                    // author (e.g. a renewal): a legitimate duplicate.
+                    // Merge the hop count, and keep whichever envelope
+                    // lives longer — a copy stuck with the expiring
+                    // certificate would be rejected as a forgery by
+                    // every peer once it lapses.
+                    self.stats.bundles_duplicate += 1;
+                    bundle.hops += 1;
+                    if let Some(held) = self.store.get_mut(&id) {
+                        held.hops = held.hops.min(bundle.hops);
+                        if bundle.author_certificate.not_after > held.author_certificate.not_after {
+                            held.author_certificate = bundle.author_certificate;
+                        }
+                    }
+                    return;
+                }
+                // Validly signed divergent content is the *author*
+                // equivocating; the relay is an honest messenger and
+                // must not be penalized for it.
+                Ok(()) => format!(
+                    "author equivocation: two valid contents for message {}/{}",
+                    id.author.display(),
+                    id.number
+                ),
+                Err(rejection) => {
+                    // A forgery: the delivering peer relayed tampered
+                    // bytes, so its trust takes the hit.
+                    if let Some(user) = self.adhoc.peer_user(from) {
+                        self.scheme.on_security_incident(&user, now);
+                    }
+                    rejection.to_string()
+                }
+            };
+            self.stats.security_rejections += 1;
+            self.events
+                .push_back(SosEvent::SecurityAlert { peer: from, detail });
+            return;
+        }
         let validator = self.adhoc.identity().validator();
         if let Err(rejection) = bundle.verify(validator, now.as_secs()) {
             self.stats.security_rejections += 1;
@@ -817,15 +885,6 @@ impl Sos {
         bundle.hops += 1;
         if let Some((_, gain)) = self.browse_progress.get_mut(&from) {
             *gain += 1;
-        }
-        let id = bundle.message.id;
-        if self.store.contains(&id) {
-            self.stats.bundles_duplicate += 1;
-            // A duplicate that arrived over a shorter path still
-            // improves what we know (and relay) about the message:
-            // keep the minimum hop count.
-            self.store.insert(bundle);
-            return;
         }
         let me = self.user_id();
         let summary = self.store.summary();
@@ -965,6 +1024,164 @@ mod tests {
         assert_eq!(bob.stats().bundles_duplicate, 1);
         assert_eq!(bob.store.get(&id).unwrap().hops, 1);
         assert_eq!(bob.store.len(), 1);
+    }
+
+    /// A forged bundle reusing a stored message id (here: tampered
+    /// payload, hop count dropped to zero) must not lower the stored hop
+    /// count — the merge is guarded by content equality — and must be
+    /// reported as a security incident, not a duplicate.
+    #[test]
+    fn forged_duplicate_cannot_poison_hop_count() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut bob = node(&mut ca, 1, 10, "bob", SchemeKind::Epidemic);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let alice = uid("alice");
+        let cert = ca.issue(alice, "alice", sk.verifying_key(), *ak.public(), 0);
+        let msg = SosMessage::create(
+            &sk,
+            alice,
+            1,
+            SimTime::from_secs(1),
+            MessageKind::Post,
+            b"genuine".to_vec(),
+        );
+        let id = msg.id;
+        let mut genuine = Bundle::new(msg, cert);
+        genuine.hops = 5;
+        bob.receive_bundle(PeerId(9), genuine.clone(), SimTime::from_secs(2));
+        assert_eq!(bob.store.get(&id).unwrap().hops, 6);
+
+        let mut forged = genuine.clone();
+        forged.message.payload = b"forgery".to_vec();
+        forged.hops = 0;
+        bob.receive_bundle(PeerId(9), forged, SimTime::from_secs(3));
+        assert_eq!(bob.store.get(&id).unwrap().hops, 6, "hop count poisoned");
+        assert_eq!(bob.store.get(&id).unwrap().message.payload, b"genuine");
+        assert_eq!(bob.stats().security_rejections, 1);
+        assert_eq!(bob.stats().bundles_duplicate, 0, "forgery is not a dup");
+    }
+
+    /// Duplicates are recognised *before* verification runs: a byte-equal
+    /// copy arriving after the author's certificate expired still merges
+    /// its (lower) hop count, where the old verify-first order would
+    /// have rejected it — proof that the dedup path skips the crypto.
+    #[test]
+    fn byte_equal_duplicate_skips_verification() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        ca.default_validity_secs = 100;
+        let mut bob = node(&mut ca, 1, 10, "bob", SchemeKind::Epidemic);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let alice = uid("alice");
+        let cert = ca.issue(alice, "alice", sk.verifying_key(), *ak.public(), 0);
+        let msg = SosMessage::create(
+            &sk,
+            alice,
+            1,
+            SimTime::from_secs(1),
+            MessageKind::Post,
+            b"hello".to_vec(),
+        );
+        let id = msg.id;
+        let mut far = Bundle::new(msg, cert);
+        far.hops = 5;
+        let near = {
+            let mut b = far.clone();
+            b.hops = 0;
+            b
+        };
+        // First copy arrives within the certificate's validity.
+        bob.receive_bundle(PeerId(9), far, SimTime::from_secs(50));
+        assert_eq!(bob.store.get(&id).unwrap().hops, 6);
+        // Second copy arrives long after expiry: verification would
+        // reject it, but the content-equal dedup path never runs it.
+        bob.receive_bundle(PeerId(9), near, SimTime::from_secs(10_000));
+        assert_eq!(bob.stats().bundles_duplicate, 1);
+        assert_eq!(bob.stats().security_rejections, 0);
+        assert_eq!(bob.store.get(&id).unwrap().hops, 1, "merge still applies");
+    }
+
+    /// The same signed message wrapped in a *different but valid*
+    /// certificate for the same author (a renewal) is a legitimate
+    /// duplicate: the hop merge applies and no alert fires.
+    #[test]
+    fn renewed_certificate_duplicate_still_merges() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut bob = node(&mut ca, 1, 10, "bob", SchemeKind::Epidemic);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let alice = uid("alice");
+        let cert_v1 = ca.issue(alice, "alice", sk.verifying_key(), *ak.public(), 0);
+        let cert_v2 = ca.issue(alice, "alice", sk.verifying_key(), *ak.public(), 1);
+        assert_ne!(cert_v1, cert_v2, "distinct serials/validity");
+        let msg = SosMessage::create(
+            &sk,
+            alice,
+            1,
+            SimTime::from_secs(1),
+            MessageKind::Post,
+            b"same bytes".to_vec(),
+        );
+        let id = msg.id;
+        let mut old_env = Bundle::new(msg.clone(), cert_v1);
+        old_env.hops = 5;
+        let new_env = Bundle::new(msg, cert_v2);
+
+        bob.receive_bundle(PeerId(9), old_env, SimTime::from_secs(2));
+        assert_eq!(bob.store.get(&id).unwrap().hops, 6);
+        bob.receive_bundle(PeerId(9), new_env.clone(), SimTime::from_secs(3));
+        assert_eq!(bob.stats().bundles_duplicate, 1);
+        assert_eq!(bob.stats().security_rejections, 0);
+        assert_eq!(bob.store.get(&id).unwrap().hops, 1, "merge applies");
+        // The stored copy upgraded to the longer-lived envelope, so it
+        // keeps relaying after the original certificate expires.
+        assert_eq!(
+            bob.store.get(&id).unwrap().author_certificate,
+            new_env.author_certificate,
+            "envelope upgraded to the renewal"
+        );
+    }
+
+    /// Two *validly signed* contents under one message id (author
+    /// equivocation) keep the first copy and surface an alert.
+    #[test]
+    fn author_equivocation_detected() {
+        let mut ca = CertificateAuthority::new("Root", [1u8; 32], 0, u64::MAX);
+        let mut bob = node(&mut ca, 1, 10, "bob", SchemeKind::Epidemic);
+        let sk = SigningKey::from_seed([2u8; 32]);
+        let ak = AgreementKey::from_secret([3u8; 32]);
+        let alice = uid("alice");
+        let cert = ca.issue(alice, "alice", sk.verifying_key(), *ak.public(), 0);
+        let make = |payload: &[u8]| {
+            let msg = SosMessage::create(
+                &sk,
+                alice,
+                1,
+                SimTime::from_secs(1),
+                MessageKind::Post,
+                payload.to_vec(),
+            );
+            Bundle::new(msg, cert.clone())
+        };
+        bob.receive_bundle(PeerId(9), make(b"version one"), SimTime::from_secs(2));
+        bob.receive_bundle(PeerId(9), make(b"version two"), SimTime::from_secs(3));
+        let id = MessageId {
+            author: alice,
+            number: 1,
+        };
+        assert_eq!(bob.store.get(&id).unwrap().message.payload, b"version one");
+        assert_eq!(bob.stats().security_rejections, 1);
+        let alerts: Vec<String> = bob
+            .poll_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                SosEvent::SecurityAlert { detail, .. } => Some(detail),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].contains("equivocation"), "got: {}", alerts[0]);
     }
 
     #[test]

@@ -219,23 +219,48 @@ impl Fe {
         }
     }
 
-    /// Multiplicative inverse via Fermat's little theorem (x^(p−2)).
+    /// `self^(2^n)` by `n` squarings.
+    fn sq_n(&self, n: u32) -> Fe {
+        let mut r = *self;
+        for _ in 0..n {
+            r = r.square();
+        }
+        r
+    }
+
+    /// `self^(2^250 − 1)` and `self^11`, the shared prefix of the
+    /// inversion and square-root addition chains (11 multiplications
+    /// instead of the ~250 a naive square-and-multiply ladder spends).
+    fn pow_chain_core(&self) -> (Fe, Fe) {
+        let z2 = self.square();
+        let z9 = z2.sq_n(2).mul(self);
+        let z11 = z9.mul(&z2);
+        let z_5_0 = z11.square().mul(&z9); // 2^5 − 1
+        let z_10_0 = z_5_0.sq_n(5).mul(&z_5_0); // 2^10 − 1
+        let z_20_0 = z_10_0.sq_n(10).mul(&z_10_0); // 2^20 − 1
+        let z_40_0 = z_20_0.sq_n(20).mul(&z_20_0); // 2^40 − 1
+        let z_50_0 = z_40_0.sq_n(10).mul(&z_10_0); // 2^50 − 1
+        let z_100_0 = z_50_0.sq_n(50).mul(&z_50_0); // 2^100 − 1
+        let z_200_0 = z_100_0.sq_n(100).mul(&z_100_0); // 2^200 − 1
+        let z_250_0 = z_200_0.sq_n(50).mul(&z_50_0); // 2^250 − 1
+        (z_250_0, z11)
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (x^(p−2)),
+    /// computed with the standard curve25519 addition chain.
     ///
     /// Returns zero for a zero input (there is no inverse of zero).
     pub fn invert(&self) -> Fe {
-        // p - 2 = 2^255 - 21, little-endian bytes.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xeb;
-        exp[31] = 0x7f;
-        self.pow_le(&exp)
+        // p − 2 = 2^255 − 21 = (2^250 − 1)·2^5 + 11.
+        let (z_250_0, z11) = self.pow_chain_core();
+        z_250_0.sq_n(5).mul(&z11)
     }
 
     /// Raises to (p + 3) / 8 = 2^252 − 2; used for square roots.
     pub fn pow_p38(&self) -> Fe {
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xfe;
-        exp[31] = 0x0f;
-        self.pow_le(&exp)
+        // 2^252 − 2 = (2^250 − 1)·2^2 + 2.
+        let (z_250_0, _) = self.pow_chain_core();
+        z_250_0.sq_n(2).mul(self).mul(self)
     }
 
     /// True if the canonical encoding is odd (the "sign" bit of RFC 8032).
@@ -347,6 +372,23 @@ mod tests {
         exp[0] = 13;
         let expected = fe(3u64.pow(13));
         assert_eq!(a.pow_le(&exp), expected);
+    }
+
+    #[test]
+    fn addition_chain_matches_ladder() {
+        // The invert/pow_p38 addition chains must agree with the naive
+        // square-and-multiply oracle `pow_le` on the same exponents.
+        let mut inv_exp = [0xffu8; 32]; // p − 2 = 2^255 − 21
+        inv_exp[0] = 0xeb;
+        inv_exp[31] = 0x7f;
+        let mut p38_exp = [0xffu8; 32]; // (p + 3)/8 = 2^252 − 2
+        p38_exp[0] = 0xfe;
+        p38_exp[31] = 0x0f;
+        for seed in [1u64, 2, 19, 987654321, u64::MAX] {
+            let a = fe(seed).add(&fe(3).mul(&fe(seed).square()));
+            assert_eq!(a.invert(), a.pow_le(&inv_exp));
+            assert_eq!(a.pow_p38(), a.pow_le(&p38_exp));
+        }
     }
 
     #[test]

@@ -145,6 +145,73 @@ impl Scalar {
     pub fn muladd(&self, b: &Scalar, c: &Scalar) -> Scalar {
         self.mul(b).add(c)
     }
+
+    /// Recodes into 64 signed radix-16 digits, each in `[-8, 8]`, with
+    /// `self = Σ digits[i]·16^i`. Drives the fixed-window table
+    /// multiplications of the Ed25519 fast path. Valid for canonical
+    /// scalars (< ℓ < 2^253), whose top nibble leaves room for the final
+    /// carry.
+    pub fn to_radix16(&self) -> [i8; 64] {
+        let bytes = self.to_bytes();
+        let mut e = [0i8; 64];
+        for i in 0..32 {
+            e[2 * i] = (bytes[i] & 15) as i8;
+            e[2 * i + 1] = (bytes[i] >> 4) as i8;
+        }
+        // Center each digit into [-8, 7], pushing the excess upward.
+        let mut carry = 0i8;
+        for d in e.iter_mut().take(63) {
+            *d += carry;
+            carry = (*d + 8) >> 4;
+            *d -= carry << 4;
+        }
+        e[63] += carry; // ≤ 8 for canonical scalars
+        e
+    }
+
+    /// Width-4 non-adjacent form: 256 digits in `{0, ±1, ±3, ±5, ±7}`
+    /// with `self = Σ digits[i]·2^i` and any two non-zero digits at
+    /// least 4 positions apart. Drives the sliding-window scalar
+    /// multiplications (average one addition per 5 doublings).
+    pub fn non_adjacent_form4(&self) -> [i8; 256] {
+        let mut naf = [0i8; 256];
+        let mut limbs = [self.0[0], self.0[1], self.0[2], self.0[3], 0u64];
+        let mut pos = 0usize;
+        while limbs != [0; 5] {
+            if limbs[0] & 1 == 1 {
+                // Centered remainder mod 16 in (-8, 8].
+                let mut d = (limbs[0] & 15) as i8;
+                if d > 8 {
+                    d -= 16;
+                }
+                naf[pos] = d;
+                // Subtract the digit (adding 16 − d when d is negative,
+                // which ripples a borrow-free carry).
+                if d > 0 {
+                    limbs[0] -= d as u64;
+                } else {
+                    let mut carry = (-d) as u64;
+                    for limb in limbs.iter_mut() {
+                        let (v, overflow) = limb.overflowing_add(carry);
+                        *limb = v;
+                        carry = overflow as u64;
+                        if carry == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Shift right by one bit.
+            for i in 0..5 {
+                limbs[i] >>= 1;
+                if i < 4 {
+                    limbs[i] |= limbs[i + 1] << 63;
+                }
+            }
+            pos += 1;
+        }
+        naf
+    }
 }
 
 #[cfg(test)]
