@@ -1,0 +1,175 @@
+//! Replay throughput: producing an encounter timeline from a recorded
+//! trace versus computing it live from geometry.
+//!
+//! The acceptance gate for the sos-trace subsystem: replaying a
+//! recorded tape ([`TraceContactSource::encounter_events`]) must emit
+//! events at ≥ 5x the rate of the live naive scan
+//! (`World::contact_events`) on the same workload — the floor is
+//! deliberately conservative; replay skips geometry entirely and
+//! measures orders of magnitude faster. The gate is asserted (a run
+//! that violates it fails loudly) and every measurement is written to
+//! `BENCH_trace.json` at the workspace root. Set `SOS_BENCH_SMOKE=1`
+//! (as CI does) for a few-iteration smoke run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sos_sim::mobility::random_waypoint::RandomWaypoint;
+use sos_sim::mobility::trace::Trajectory;
+use sos_sim::{EncounterSource, SimDuration, SimTime, World};
+use sos_trace::{codec_binary, codec_text, ContactTrace, TraceContactSource};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 120;
+const HOURS: u64 = 6;
+
+fn smoke() -> bool {
+    std::env::var_os("SOS_BENCH_SMOKE").is_some()
+}
+
+/// Per-measurement sampling window (shrunk in smoke mode).
+fn window() -> Duration {
+    if smoke() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Collected `(name, value)` pairs for the JSON summary.
+fn results() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Times `f` adaptively, prints, and records the mean nanoseconds.
+fn measure<O, F: FnMut() -> O>(name: &str, mut f: F) -> f64 {
+    let warm = Instant::now();
+    std::hint::black_box(f());
+    let once = warm.elapsed().max(Duration::from_nanos(1));
+    let iters = (window().as_nanos() / once.as_nanos()).clamp(3, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mean = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let pretty = if mean < 1e3 {
+        format!("{mean:.0} ns")
+    } else if mean < 1e6 {
+        format!("{:.2} µs", mean / 1e3)
+    } else {
+        format!("{:.2} ms", mean / 1e6)
+    };
+    println!("{name:<50} time: {pretty:<12}");
+    results().lock().unwrap().push((name.to_string(), mean));
+    mean
+}
+
+fn record(name: &str, value: f64) {
+    results().lock().unwrap().push((name.to_string(), value));
+}
+
+/// A pedestrian random-waypoint workload big enough that contact
+/// detection dominates.
+fn workload() -> World {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let model = RandomWaypoint {
+        bounds: sos_sim::geo::Bounds::new(2_500.0, 2_500.0),
+        min_speed: 0.8,
+        max_speed: 2.0,
+        min_pause: SimDuration::ZERO,
+        max_pause: SimDuration::from_secs(300),
+    };
+    let trajectories: Vec<Trajectory> = (0..NODES)
+        .map(|_| model.generate(&mut rng, SimDuration::from_hours(HOURS)))
+        .collect();
+    World::new(trajectories, 60.0, SimDuration::from_secs(30))
+}
+
+fn bench_trace_replay(_c: &mut Criterion) {
+    let world = workload();
+    let end = SimTime::from_hours(HOURS);
+    let tape = ContactTrace::record(&world, SimTime::ZERO, end).expect("valid recording");
+    let events = tape.len().max(1) as f64;
+    println!(
+        "workload: {NODES} nodes, {HOURS} h, {} events on the tape\n",
+        tape.len()
+    );
+    let replay = TraceContactSource::new(tape.clone());
+
+    // --- Timeline production: live geometry vs tape replay.
+    let live_ns = measure("timeline/live_world_scan", || {
+        world.encounter_events(SimTime::ZERO, end).len()
+    });
+    let replay_ns = measure("timeline/trace_replay", || {
+        replay.encounter_events(SimTime::ZERO, end).len()
+    });
+    let live_rate = events / (live_ns / 1e9);
+    let replay_rate = events / (replay_ns / 1e9);
+    record("timeline/live_events_per_sec", live_rate);
+    record("timeline/replay_events_per_sec", replay_rate);
+    let speedup = replay_rate / live_rate;
+    record("timeline/replay_speedup", speedup);
+    println!(
+        "replay throughput: {:.2e} events/s vs live {:.2e} events/s ({speedup:.0}x; gate >= 5x)\n",
+        replay_rate, live_rate
+    );
+
+    // --- Codec hot paths.
+    let binary = codec_binary::to_binary(&tape);
+    let text = codec_text::to_text(&tape);
+    record("codec/binary_bytes_per_event", binary.len() as f64 / events);
+    record("codec/text_bytes_per_event", text.len() as f64 / events);
+    measure("codec/binary_encode", || {
+        codec_binary::to_binary(&tape).len()
+    });
+    measure("codec/binary_decode", || {
+        codec_binary::from_binary(std::hint::black_box(&binary)).unwrap()
+    });
+    measure("codec/text_encode", || codec_text::to_text(&tape).len());
+    measure("codec/text_decode", || {
+        codec_text::from_text(std::hint::black_box(&text)).unwrap()
+    });
+
+    // --- Acceptance gates (checked in smoke runs too: CI executes this
+    // with SOS_BENCH_SMOKE=1, so a rotted replay path fails CI).
+    assert!(
+        replay.encounter_events(SimTime::ZERO, end) == world.encounter_events(SimTime::ZERO, end),
+        "replayed timeline must equal the recorded one"
+    );
+    assert!(
+        speedup >= 5.0,
+        "replay must beat live timeline production >= 5x, got {speedup:.1}x"
+    );
+    assert!(
+        binary.len() < text.len(),
+        "binary codec must be more compact than text"
+    );
+}
+
+/// Writes every recorded measurement to `BENCH_trace.json` at the
+/// workspace root. Skipped in smoke mode: the tracked JSON records the
+/// perf trajectory across PRs from full-window runs.
+fn emit_json(_c: &mut Criterion) {
+    if smoke() {
+        println!("smoke mode: skipping BENCH_trace.json (full runs only)");
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_trace.json");
+    let results = results().lock().unwrap();
+    let mut out = String::from("{\n");
+    out.push_str("  \"smoke\": false,\n");
+    out.push_str("  \"unit\": \"ns_mean (rates/ratios as named)\",\n  \"measurements\": {\n");
+    for (i, (name, mean)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {mean:.1}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, out).expect("write BENCH_trace.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_trace_replay, emit_json);
+criterion_main!(benches);

@@ -29,6 +29,11 @@ pub enum SosError {
     },
     /// An operation referenced an unknown peer/session.
     UnknownPeer,
+    /// Malformed simulation-substrate input (empty or unordered
+    /// trajectory waypoints, bad speeds) — raised when ingesting
+    /// external mobility/contact traces, which must surface errors
+    /// rather than panic the process.
+    InvalidTrajectory(sos_sim::SimError),
 }
 
 /// Why an incoming bundle was rejected (paper §IV: verify the originating
@@ -73,6 +78,7 @@ impl fmt::Display for SosError {
                 write!(f, "payload of {size} bytes exceeds maximum")
             }
             SosError::UnknownPeer => f.write_str("unknown peer"),
+            SosError::InvalidTrajectory(e) => write!(f, "invalid trajectory: {e}"),
         }
     }
 }
@@ -81,6 +87,7 @@ impl Error for SosError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SosError::Net(e) => Some(e),
+            SosError::InvalidTrajectory(e) => Some(e),
             _ => None,
         }
     }
@@ -89,5 +96,11 @@ impl Error for SosError {
 impl From<NetError> for SosError {
     fn from(e: NetError) -> SosError {
         SosError::Net(e)
+    }
+}
+
+impl From<sos_sim::SimError> for SosError {
+    fn from(e: sos_sim::SimError) -> SosError {
+        SosError::InvalidTrajectory(e)
     }
 }

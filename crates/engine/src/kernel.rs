@@ -267,11 +267,13 @@ mod tests {
             Trajectory::new(vec![
                 (SimTime::ZERO, Point::new(0.0, 0.0)),
                 (SimTime::from_secs(1000), Point::new(1000.0, 0.0)),
-            ]),
+            ])
+            .unwrap(),
             Trajectory::new(vec![
                 (SimTime::ZERO, Point::new(1000.0, 0.0)),
                 (SimTime::from_secs(1000), Point::new(0.0, 0.0)),
-            ]),
+            ])
+            .unwrap(),
         ]
     }
 
@@ -322,7 +324,8 @@ mod tests {
                 Trajectory::new(vec![
                     (SimTime::ZERO, Point::new(5000.0, 0.0)),
                     (SimTime::from_secs(100), Point::new(5000.0, 4000.0)),
-                ]),
+                ])
+                .unwrap(),
             ],
             60.0,
             SimDuration::from_secs(10),
@@ -357,7 +360,8 @@ mod tests {
             (SimTime::from_secs(100), Point::new(10.0, 0.0)), // jump into range
             (SimTime::from_secs(300), Point::new(10.0, 0.0)),
             (SimTime::from_secs(300), Point::new(2000.0, 0.0)), // jump out
-        ]);
+        ])
+        .unwrap();
         let anchor = Trajectory::stationary(Point::new(0.0, 0.0));
         for tick_secs in [7, 10, 30] {
             let tick = SimDuration::from_secs(tick_secs);

@@ -80,11 +80,11 @@ proptest! {
                 (SimTime::from_secs(500), Point::new(500.0, 10.0)),
                 (SimTime::from_secs(900), Point::new(500.0, 10.0)), // wait
                 (SimTime::from_secs(1400), Point::new(0.0, 20.0)),
-            ]),
+            ]).unwrap(),
             Trajectory::new(vec![
                 (SimTime::ZERO, Point::new(500.0, 0.0)),
                 (SimTime::from_secs(700), Point::new(0.0, 0.0)),
-            ]),
+            ]).unwrap(),
             Trajectory::stationary(Point::new(250.0, 5.0)),
         ];
         assert_equivalent(

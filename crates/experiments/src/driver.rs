@@ -1,10 +1,19 @@
 //! The discrete-event driver: moves frames between AlleyOop apps
-//! according to the mobility world and link models, and records every
-//! metric the paper's evaluation reports.
+//! according to an encounter timeline and link models, and records
+//! every metric the paper's evaluation reports.
 //!
 //! This is the substitute for physics: where the paper had ten iPhones
-//! radiating over Bluetooth and peer-to-peer WiFi, we have trajectories,
-//! range checks, per-bearer latency/bandwidth/loss, and a seeded RNG.
+//! radiating over Bluetooth and peer-to-peer WiFi, we have an
+//! [`EncounterSource`] timeline, per-bearer latency/bandwidth/loss,
+//! and a seeded RNG.
+//!
+//! **Determinism rule:** the driver derives *everything* from the
+//! encounter timeline — connectivity comes from `ContactUp` /
+//! `ContactDown` events, and each contact's link quality is frozen at
+//! its up-distance. Positions are consulted only for the Fig. 4b map
+//! overlay, never for behavior. Two sources emitting the same timeline
+//! therefore produce byte-identical runs, which is what makes
+//! `sos-trace` record→replay exact (see `experiments::replay`).
 
 use alleyoop::app::AlleyOopApp;
 use rand::SeedableRng;
@@ -12,7 +21,7 @@ use sos_core::message::MessageKind;
 use sos_core::middleware::{SosEvent, SosStats};
 use sos_net::{Frame, LinkModel, PeerId};
 use sos_sim::metrics::{DelayRecorder, DeliveryRecorder};
-use sos_sim::{ContactSource, EventQueue, SimDuration, SimTime, World};
+use sos_sim::{EncounterSource, EventQueue, SimDuration, SimTime, World};
 use std::collections::BTreeMap;
 
 /// Where on the map something happened (for Fig. 4b).
@@ -49,6 +58,9 @@ enum Event {
     },
     /// `node` authors a post.
     Post { node: usize },
+    /// A contact opened; the pair can exchange frames at the given
+    /// link distance until it closes.
+    ContactUp { a: usize, b: usize, distance_m: f64 },
     /// A contact closed; both ends lose the peer.
     ContactDown { a: usize, b: usize },
 }
@@ -93,17 +105,22 @@ pub struct RunMetrics {
     pub security_alerts: u64,
 }
 
-/// The simulation driver: apps + contact source + queue + recorders.
+/// The simulation driver: apps + encounter source + queue + recorders.
 ///
-/// Generic over [`ContactSource`], so the same driver runs on the
-/// naive [`World`] scan or on `sos-engine`'s grid-indexed kernel.
-pub struct Driver<C: ContactSource = World> {
+/// Generic over [`EncounterSource`], so the same driver runs on the
+/// naive [`World`] scan, on `sos-engine`'s grid-indexed kernel, or on
+/// a `sos-trace` recorded/synthetic trace replay.
+pub struct Driver<C: EncounterSource = World> {
     apps: Vec<AlleyOopApp>,
-    world: C,
+    source: C,
     /// follower sets: `follows[author] = set of follower node indices`.
     followers: Vec<Vec<usize>>,
     user_index: BTreeMap<sos_crypto::UserId, usize>,
     queue: EventQueue<Event>,
+    /// Open contacts and their frozen up-distance: the single source
+    /// of connectivity truth for advertisements, transmissions, and
+    /// deliveries. Keys are normalized `(min, max)` pairs.
+    links: BTreeMap<(usize, usize), f64>,
     /// Last scheduled arrival per directed `(src, dst)` pair: the MPC
     /// substrate is a reliable *ordered* byte stream, so a small frame
     /// (shorter serialization delay) must never overtake a large one
@@ -116,7 +133,7 @@ pub struct Driver<C: ContactSource = World> {
     metrics: RunMetrics,
 }
 
-impl<C: ContactSource> Driver<C> {
+impl<C: EncounterSource> Driver<C> {
     /// Creates a driver.
     ///
     /// `followers[a]` lists the node indices subscribed to node `a`'s
@@ -127,12 +144,12 @@ impl<C: ContactSource> Driver<C> {
     /// Panics if `apps` and the world disagree on the node count.
     pub fn new(
         apps: Vec<AlleyOopApp>,
-        world: C,
+        source: C,
         followers: Vec<Vec<usize>>,
         config: DriverConfig,
         end: SimTime,
     ) -> Driver<C> {
-        assert_eq!(apps.len(), world.node_count(), "node count mismatch");
+        assert_eq!(apps.len(), source.node_count(), "node count mismatch");
         assert_eq!(apps.len(), followers.len(), "follower map mismatch");
         let user_index = apps
             .iter()
@@ -142,10 +159,11 @@ impl<C: ContactSource> Driver<C> {
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         Driver {
             apps,
-            world,
+            source,
             followers,
             user_index,
             queue: EventQueue::new(),
+            links: BTreeMap::new(),
             in_flight: BTreeMap::new(),
             rng,
             config,
@@ -174,22 +192,34 @@ impl<C: ContactSource> Driver<C> {
         }
     }
 
-    /// Schedules contact-down notifications from the world's contact
-    /// events so sessions break when radios separate.
-    fn schedule_contact_downs(&mut self) {
-        for ev in self.world.contact_events(SimTime::ZERO, self.end) {
-            if ev.phase == sos_sim::ContactPhase::Down {
-                self.queue
-                    .schedule(ev.time, Event::ContactDown { a: ev.a, b: ev.b });
-            }
+    /// Schedules the entire encounter timeline: contact-up events open
+    /// links (freezing the link distance for the contact's lifetime),
+    /// contact-down events close them and break sessions.
+    ///
+    /// Scheduled *before* the advertisements so that at equal
+    /// timestamps the FIFO queue applies the transition first — an ad
+    /// broadcast on the tick a contact comes up reaches the new peer,
+    /// and one on the tick it goes down does not, matching the
+    /// geometric sampling semantics this replaces.
+    fn schedule_contacts(&mut self) {
+        for ev in self.source.encounter_events(SimTime::ZERO, self.end) {
+            let event = match ev.phase {
+                sos_sim::ContactPhase::Up => Event::ContactUp {
+                    a: ev.a,
+                    b: ev.b,
+                    distance_m: ev.distance_m,
+                },
+                sos_sim::ContactPhase::Down => Event::ContactDown { a: ev.a, b: ev.b },
+            };
+            self.queue.schedule(ev.time, event);
         }
     }
 
     /// Runs the simulation to the end and returns the metrics and the
     /// final applications (whose local databases hold every feed).
     pub fn run(mut self) -> (RunMetrics, Vec<AlleyOopApp>) {
+        self.schedule_contacts();
         self.schedule_advertisements();
-        self.schedule_contact_downs();
         while let Some((now, event)) = self.queue.pop() {
             if now > self.end {
                 break;
@@ -198,7 +228,11 @@ impl<C: ContactSource> Driver<C> {
                 Event::Advertise(node) => self.on_advertise(node, now),
                 Event::Deliver { src, dst, frame } => self.on_deliver(src, dst, frame, now),
                 Event::Post { node } => self.on_post(node, now),
+                Event::ContactUp { a, b, distance_m } => {
+                    self.links.insert((a.min(b), a.max(b)), distance_m);
+                }
                 Event::ContactDown { a, b } => {
+                    self.links.remove(&(a.min(b), a.max(b)));
                     self.apps[a].middleware_mut().on_peer_lost(PeerId(b as u32));
                     self.apps[b].middleware_mut().on_peer_lost(PeerId(a as u32));
                 }
@@ -207,10 +241,24 @@ impl<C: ContactSource> Driver<C> {
         (self.metrics, self.apps)
     }
 
+    /// The peers currently connected to `node`, from the link table.
+    fn connected_peers(&self, node: usize) -> Vec<usize> {
+        self.links
+            .keys()
+            .filter_map(|&(a, b)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
     fn on_advertise(&mut self, node: usize, now: SimTime) {
-        let in_range: Vec<usize> = (0..self.apps.len())
-            .filter(|&m| m != node && self.world.in_range(node, m, now))
-            .collect();
+        let in_range = self.connected_peers(node);
         if in_range.is_empty() {
             return;
         }
@@ -221,9 +269,11 @@ impl<C: ContactSource> Driver<C> {
     }
 
     fn transmit(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
-        let distance = self.world.distance(src, dst, now);
+        let Some(&distance) = self.links.get(&(src.min(dst), src.max(dst))) else {
+            return; // contact closed before transmission
+        };
         let Some(link) = LinkModel::for_distance(distance, self.config.infra_available) else {
-            return; // moved out of range before transmission
+            return; // up-distance beyond every available bearer
         };
         self.metrics.frames_sent += 1;
         if link.should_drop(&mut self.rng) {
@@ -245,8 +295,8 @@ impl<C: ContactSource> Driver<C> {
     }
 
     fn on_deliver(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
-        if !self.world.in_range(src, dst, now) {
-            return; // receiver moved away mid-flight
+        if !self.links.contains_key(&(src.min(dst), src.max(dst))) {
+            return; // contact closed mid-flight
         }
         let replies = self.apps[dst].middleware_mut().handle_frame(
             PeerId(src as u32),
@@ -265,12 +315,13 @@ impl<C: ContactSource> Driver<C> {
         let text = format!("post #{n} by {}", self.apps[node].handle());
         self.apps[node].post(&text, now);
         self.metrics.posts += 1;
-        let pos = self.world.position(node, now);
-        self.metrics.map.push(MapEvent {
-            x: pos.x,
-            y: pos.y,
-            kind: MapEventKind::Created,
-        });
+        if let Some(pos) = self.source.node_position(node, now) {
+            self.metrics.map.push(MapEvent {
+                x: pos.x,
+                y: pos.y,
+                kind: MapEventKind::Created,
+            });
+        }
         for &follower in &self.followers[node] {
             self.metrics.delivery.expect(follower, node);
         }
@@ -291,12 +342,13 @@ impl<C: ContactSource> Driver<C> {
                         continue;
                     };
                     let interested = self.followers[author_idx].contains(&node);
-                    let pos = self.world.position(node, now);
-                    self.metrics.map.push(MapEvent {
-                        x: pos.x,
-                        y: pos.y,
-                        kind: MapEventKind::Disseminated,
-                    });
+                    if let Some(pos) = self.source.node_position(node, now) {
+                        self.metrics.map.push(MapEvent {
+                            x: pos.x,
+                            y: pos.y,
+                            kind: MapEventKind::Disseminated,
+                        });
+                    }
                     if interested {
                         self.metrics.delays.record(created_at, now, hops);
                         self.metrics.delivery.delivered(node, author_idx);

@@ -15,6 +15,9 @@
 //! * [`eviction`] — delivery under store eviction: holes punched by
 //!   TTL/capacity limits and their recovery by the gap-aware (v2) sync
 //!   protocol (extension)
+//! * [`replay`] — record the field study's encounter timeline with
+//!   `sos-trace` and re-drive any scheme from the tape, byte-identical
+//!   to the live run (the *in vivo* evaluation loop)
 //!
 //! Run `cargo run --release -p sos-experiments --bin repro -- all` to
 //! print every reproduced figure.
@@ -26,9 +29,12 @@ pub mod ablation;
 pub mod density;
 pub mod driver;
 pub mod eviction;
+pub mod replay;
 pub mod report;
 pub mod scenario;
 pub mod social;
 pub mod sweep;
 
-pub use scenario::{run_field_study, run_field_study_on, FieldStudyConfig, FieldStudyOutcome};
+pub use scenario::{
+    run_field_study, run_field_study_on, run_field_study_with, FieldStudyConfig, FieldStudyOutcome,
+};

@@ -129,6 +129,21 @@ pub fn fig4b(outcome: &FieldStudyOutcome, cols: usize, rows: usize) -> String {
     out
 }
 
+/// `p50/p90/p99` of a delay CDF in hours, `-` when empty — the
+/// at-a-glance summary that makes trace runs comparable without
+/// reading whole CDF curves.
+pub fn delay_quantiles_line(cdf: &Cdf) -> String {
+    if cdf.is_empty() {
+        return "p50 -       p90 -       p99 -".to_string();
+    }
+    format!(
+        "p50 {:<7.2} p90 {:<7.2} p99 {:<7.2}",
+        cdf.quantile(0.50),
+        cdf.quantile(0.90),
+        cdf.quantile(0.99)
+    )
+}
+
 fn cdf_series_lines(cdf: &Cdf, label: &str) -> String {
     let xs: Vec<f64> = (0..=12).map(|i| i as f64 * 14.0).collect();
     let mut out = format!("  {label} (n={}):\n", cdf.len());
@@ -224,6 +239,14 @@ pub fn text_metrics(outcome: &FieldStudyOutcome) -> String {
         all.fraction_le(94.0)
     ));
     out.push_str(&format!(
+        "delay quantiles, h (All)       -        {}\n",
+        delay_quantiles_line(&all)
+    ));
+    out.push_str(&format!(
+        "delay quantiles, h (1-hop)     -        {}\n",
+        delay_quantiles_line(&outcome.metrics.delays.cdf_one_hop_hours())
+    ));
+    out.push_str(&format!(
         "frames sent / lost             -        {} / {}\n",
         m.frames_sent, m.frames_lost
     ));
@@ -244,8 +267,17 @@ pub fn key_line(outcome: &FieldStudyOutcome) -> String {
     for r in outcome.metrics.delays.records() {
         hops[(r.hops.min(3) as usize) - 1] += 1;
     }
+    let (p50, p90, p99) = if all.is_empty() {
+        ("-".to_string(), "-".to_string(), "-".to_string())
+    } else {
+        (
+            format!("{:.2}", all.quantile(0.50)),
+            format!("{:.2}", all.quantile(0.90)),
+            format!("{:.2}", all.quantile(0.99)),
+        )
+    };
     format!(
-        "seed={} transfers={} one_hop={:.3} d24={:.3} d94={:.3} ratio={:.3} gt08={:.3} gt07={:.3} hops(1/2/3+)={}/{}/{}",
+        "seed={} transfers={} one_hop={:.3} d24={:.3} d94={:.3} p50={p50} p90={p90} p99={p99} ratio={:.3} gt08={:.3} gt07={:.3} hops(1/2/3+)={}/{}/{}",
         outcome.seed,
         outcome.transfers(),
         outcome.one_hop_fraction(),
@@ -294,6 +326,24 @@ mod tests {
         assert!(report.contains("Fig. 4c"));
         assert!(report.contains("Fig. 4d"));
         assert!(report.contains("unique messages"));
+    }
+
+    #[test]
+    fn delay_quantile_summaries_render() {
+        let outcome = run_field_study(&small_test_config(2, SchemeKind::InterestBased));
+        let text = text_metrics(&outcome);
+        assert!(text.contains("delay quantiles, h (All)"));
+        assert!(text.contains("delay quantiles, h (1-hop)"));
+        let key = key_line(&outcome);
+        assert!(key.contains("p50=") && key.contains("p90=") && key.contains("p99="));
+        // An empty CDF renders dashes instead of panicking.
+        assert!(delay_quantiles_line(&Cdf::from_samples(vec![])).contains("p50 -"));
+        // Quantiles are ordered on a real CDF.
+        let all = outcome.metrics.delays.cdf_all_hours();
+        if !all.is_empty() {
+            assert!(all.quantile(0.50) <= all.quantile(0.90));
+            assert!(all.quantile(0.90) <= all.quantile(0.99));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use sos_net::PeerId;
 use sos_sim::mobility::schedule::{DailySchedule, ScheduleConfig};
 use sos_sim::mobility::trace::Trajectory;
 use sos_sim::radio::RadioTech;
-use sos_sim::{ContactSource, SimDuration, SimTime, World};
+use sos_sim::{EncounterSource, SimDuration, SimTime, World};
 
 /// Scenario configuration, defaulting to the published field study.
 #[derive(Clone, Debug)]
@@ -160,6 +160,38 @@ fn post_schedule(config: &FieldStudyConfig, rng: &mut rand::rngs::StdRng) -> Vec
     posts
 }
 
+/// Builds the apps and the mobility they move with in one pass over
+/// the master RNG stream (apps first, then homes/schedules — the
+/// ordering every entry point must replicate for byte-identical runs).
+fn build_apps_and_trajectories(config: &FieldStudyConfig) -> (Vec<AlleyOopApp>, Vec<Trajectory>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let apps = build_apps(config, &mut rng);
+    let mut sched_cfg = config.schedule.clone();
+    sched_cfg.days = config.days;
+    let buildings = sched_cfg.campus_buildings;
+    let mut schedule = DailySchedule::new(sched_cfg, social::NODES, &mut rng);
+    schedule.set_building_preferences(social::building_preferences(buildings));
+    schedule.set_friends(social::friend_lists());
+    (apps, schedule.generate_all(config.seed ^ 0xfeed))
+}
+
+/// The field study's mobility, reproduced standalone: the exact
+/// trajectories a run with this `config` drives — useful for recording
+/// the scenario's encounter timeline (`experiments::replay`) without
+/// running it.
+pub fn field_study_trajectories(config: &FieldStudyConfig) -> Vec<Trajectory> {
+    build_apps_and_trajectories(config).1
+}
+
+/// The [`World`] a `run_field_study(config)` call simulates on.
+pub fn field_study_world(config: &FieldStudyConfig) -> World {
+    World::new(
+        field_study_trajectories(config),
+        RadioTech::max_range_m(config.infra_available),
+        config.contact_tick,
+    )
+}
+
 /// Runs the complete field study on the contact source built by
 /// `make_source` from `(trajectories, range_m, tick)`.
 ///
@@ -169,27 +201,49 @@ fn post_schedule(config: &FieldStudyConfig, rng: &mut rand::rngs::StdRng) -> Vec
 /// contact semantics (which the engine matches exactly).
 pub fn run_field_study_on<C, F>(config: &FieldStudyConfig, make_source: F) -> FieldStudyOutcome
 where
-    C: ContactSource,
+    C: EncounterSource,
     F: FnOnce(Vec<Trajectory>, f64, SimDuration) -> C,
 {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let apps = build_apps(config, &mut rng);
-
-    // Mobility: homes and campus from the schedule model, with friend
-    // groups clustering by building and visiting each other's homes.
-    let mut sched_cfg = config.schedule.clone();
-    sched_cfg.days = config.days;
-    let buildings = sched_cfg.campus_buildings;
-    let mut schedule = DailySchedule::new(sched_cfg, social::NODES, &mut rng);
-    schedule.set_building_preferences(social::building_preferences(buildings));
-    schedule.set_friends(social::friend_lists());
-    let trajectories = schedule.generate_all(config.seed ^ 0xfeed);
-    let world = make_source(
+    let (apps, trajectories) = build_apps_and_trajectories(config);
+    let source = make_source(
         trajectories,
         RadioTech::max_range_m(config.infra_available),
         config.contact_tick,
     );
+    drive_field_study(config, apps, source)
+}
 
+/// Runs the complete field study on an arbitrary [`EncounterSource`] —
+/// the entry point for trace replay: pass a
+/// `sos_trace::TraceContactSource` holding a recorded (or imported, or
+/// synthetic) timeline and the identical scheme/workload machinery
+/// runs over it.
+///
+/// Everything except the encounter timeline is a pure function of
+/// `config`, so two sources with the same timeline yield
+/// byte-identical outcomes.
+pub fn run_field_study_with<S>(config: &FieldStudyConfig, source: S) -> FieldStudyOutcome
+where
+    S: EncounterSource,
+{
+    // Apps are a pure function of the seed's stream prefix, so this
+    // matches the apps a geometric run builds alongside its mobility.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let apps = build_apps(config, &mut rng);
+    drive_field_study(config, apps, source)
+}
+
+/// The shared back half of every entry point: wire subscriptions,
+/// schedule the post workload, and run the driver over `source`.
+fn drive_field_study<S>(
+    config: &FieldStudyConfig,
+    apps: Vec<AlleyOopApp>,
+    source: S,
+) -> FieldStudyOutcome
+where
+    S: EncounterSource,
+{
+    let world = source;
     let end = SimTime::from_hours(config.days * 24);
     let graph = social::field_study_digraph();
     // followers[author] = indices following `author`.

@@ -1,0 +1,135 @@
+//! The encounter-level abstraction: a timeline of contact transitions.
+//!
+//! The paper's whole argument is *in vivo* evaluation — routing schemes
+//! judged on the encounter log of a real multi-week deployment, not
+//! only on synthetic mobility. What a scheme actually consumes is not
+//! geometry but a **timeline**: pairwise `ContactUp` / `ContactDown`
+//! transitions. [`EncounterSource`] captures exactly that interface.
+//!
+//! Every geometric [`ContactSource`] (the naive [`World`](crate::World)
+//! scan, `sos-engine`'s grid kernel) adapts onto it through a blanket
+//! implementation, and `sos-trace` implements it directly for recorded
+//! and synthetic traces — so the experiment driver is decoupled from
+//! geometry entirely and can replay a field study, a CRAWDAD import, or
+//! a community-structured synthetic trace through the identical code
+//! path.
+//!
+//! Determinism rule: the driver derives **all** connectivity and link
+//! state from the event timeline (never from positions), so two sources
+//! producing the same timeline produce byte-identical runs.
+
+use crate::geo::Point;
+use crate::time::SimTime;
+use crate::world::{collapse_intervals, ContactEvent, ContactInterval, ContactSource};
+
+/// A timeline of pairwise contact transitions over a node population.
+///
+/// This is the interface between *any* encounter substrate — live
+/// geometric simulation, a recorded trace, a synthetic social trace —
+/// and scheme evaluation. Implementations must uphold:
+///
+/// * events are ordered by time (ties broken arbitrarily but
+///   deterministically);
+/// * per pair, phases strictly alternate starting with `Up`;
+/// * node indices satisfy `a < b < node_count()`.
+pub trait EncounterSource {
+    /// Number of nodes in the population.
+    fn node_count(&self) -> usize;
+
+    /// Every contact transition in `[start, end]`, in time order.
+    ///
+    /// Contacts already open at `start` must be reported as an `Up`
+    /// event at `start` (mirroring the initial scan of the geometric
+    /// sources), and contacts still open at `end` get no closing event.
+    fn encounter_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent>;
+
+    /// Closed contact intervals over `[start, end]`; contacts still
+    /// open at `end` are closed there.
+    fn encounter_intervals(&self, start: SimTime, end: SimTime) -> Vec<ContactInterval> {
+        collapse_intervals(&self.encounter_events(start, end), end)
+    }
+
+    /// Where `node` is at `t`, if the source knows geometry at all.
+    ///
+    /// Purely observational (map overlays like the paper's Fig. 4b);
+    /// **never** used for connectivity decisions. Trace-backed sources
+    /// return `None`.
+    fn node_position(&self, node: usize, t: SimTime) -> Option<Point> {
+        let _ = (node, t);
+        None
+    }
+
+    /// The communication range that produced this timeline, if known.
+    fn range_hint_m(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Every geometric contact source is an encounter source: the adapter
+/// that lets `World` and `GridContactEngine` drive the same
+/// encounter-level evaluation path as replayed traces.
+impl<C: ContactSource> EncounterSource for C {
+    fn node_count(&self) -> usize {
+        ContactSource::node_count(self)
+    }
+
+    fn encounter_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent> {
+        self.contact_events(start, end)
+    }
+
+    fn node_position(&self, node: usize, t: SimTime) -> Option<Point> {
+        Some(self.position(node, t))
+    }
+
+    fn range_hint_m(&self) -> Option<f64> {
+        Some(self.range_m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::trace::Trajectory;
+    use crate::time::SimDuration;
+    use crate::world::World;
+
+    fn two_node_world() -> World {
+        World::new(
+            vec![
+                Trajectory::stationary(Point::new(0.0, 0.0)),
+                Trajectory::stationary(Point::new(30.0, 0.0)),
+            ],
+            60.0,
+            SimDuration::from_secs(30),
+        )
+    }
+
+    #[test]
+    fn world_adapts_onto_encounter_source() {
+        let w = two_node_world();
+        let end = SimTime::from_hours(1);
+        assert_eq!(EncounterSource::node_count(&w), 2);
+        assert_eq!(
+            w.encounter_events(SimTime::ZERO, end),
+            w.contact_events(SimTime::ZERO, end)
+        );
+        assert_eq!(
+            w.encounter_intervals(SimTime::ZERO, end),
+            w.contact_intervals(SimTime::ZERO, end)
+        );
+        assert_eq!(w.range_hint_m(), Some(60.0));
+        assert_eq!(
+            w.node_position(1, SimTime::ZERO),
+            Some(Point::new(30.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn generic_consumers_accept_both_views() {
+        fn count_events<S: EncounterSource>(s: &S, end: SimTime) -> usize {
+            s.encounter_events(SimTime::ZERO, end).len()
+        }
+        let w = two_node_world();
+        assert_eq!(count_events(&w, SimTime::from_hours(1)), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the simulation substrate.
+//!
+//! The substrate historically panicked on malformed inputs; that was
+//! acceptable while every trajectory was program-generated, but trace
+//! ingestion (`sos-trace`) feeds *external* data into these types, and
+//! a malformed line in an imported contact trace must surface as an
+//! error, never abort the process.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by simulation-substrate constructors and ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A trajectory needs at least one waypoint.
+    EmptyTrajectory,
+    /// Waypoint timestamps must be non-decreasing; `index` is the first
+    /// waypoint that moves backwards in time.
+    UnorderedWaypoints {
+        /// Index of the offending waypoint.
+        index: usize,
+    },
+    /// A movement speed must be strictly positive and finite.
+    NonPositiveSpeed,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyTrajectory => f.write_str("trajectory needs at least one waypoint"),
+            SimError::UnorderedWaypoints { index } => {
+                write!(f, "waypoint {index} moves backwards in time")
+            }
+            SimError::NonPositiveSpeed => f.write_str("speed must be positive and finite"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::EmptyTrajectory.to_string().contains("waypoint"));
+        assert!(SimError::UnorderedWaypoints { index: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(SimError::NonPositiveSpeed.to_string().contains("positive"));
+    }
+}

@@ -9,6 +9,11 @@
 //!
 //! * [`time`] — millisecond-resolution simulated clock types
 //! * [`event`] — a generic discrete-event queue
+//! * [`encounter`] — the [`EncounterSource`] timeline abstraction that
+//!   decouples scheme evaluation from geometry (implemented by every
+//!   geometric [`ContactSource`] and by `sos-trace` replay sources)
+//! * [`error`] — typed substrate errors ([`SimError`]): malformed
+//!   external inputs surface as errors, never panics
 //! * [`geo`] — a metric plane and distances
 //! * [`mobility`] — trajectory generation: random waypoint and a
 //!   home/campus/errand daily-schedule model with nightly sleep (the paper
@@ -24,6 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod encounter;
+pub mod error;
 pub mod event;
 pub mod geo;
 pub mod metrics;
@@ -32,6 +39,8 @@ pub mod radio;
 pub mod time;
 pub mod world;
 
+pub use encounter::EncounterSource;
+pub use error::SimError;
 pub use event::EventQueue;
 pub use geo::Point;
 pub use metrics::{Cdf, DelayRecorder, DeliveryRecorder};
@@ -57,6 +66,7 @@ mod proptests {
                         .map(|(t, x, y)| (SimTime::from_secs(t), Point::new(x, y)))
                         .collect(),
                 )
+                .expect("sorted non-empty waypoints")
             },
         )
     }

@@ -51,7 +51,8 @@ impl RandomWaypoint {
         while b.now() < end {
             let dest = self.bounds.sample(rng);
             let speed = rng.gen_range(self.min_speed..=self.max_speed);
-            b.travel_to(dest, speed);
+            b.travel_to(dest, speed)
+                .expect("speed range validated above");
             let pause_ms = rng.gen_range(self.min_pause.as_millis()..=self.max_pause.as_millis());
             let pause_end = SimTime::from_millis(b.now().as_millis() + pause_ms);
             b.wait_until(pause_end);

@@ -234,18 +234,21 @@ impl DailySchedule {
                 let depart =
                     SimTime::from_millis(arrive.as_millis().saturating_sub(travel.as_millis()));
                 b.wait_until(depart.max(b.now()));
-                b.travel_to(first_building, cfg.travel_speed);
+                b.travel_to(first_building, cfg.travel_speed)
+                    .expect("schedule speeds are positive");
                 // Hop between buildings until it is time to leave.
                 while b.now() + cfg.building_dwell < leave {
                     let dwell_end = b.now() + cfg.building_dwell;
                     b.wait_until(dwell_end);
                     let next = self.pick_building(node, rng);
                     if next.distance(&b.position()) > 1.0 {
-                        b.travel_to(next, cfg.walk_speed);
+                        b.travel_to(next, cfg.walk_speed)
+                            .expect("schedule speeds are positive");
                     }
                 }
                 b.wait_until(leave);
-                b.travel_to(home, cfg.travel_speed);
+                b.travel_to(home, cfg.travel_speed)
+                    .expect("schedule speeds are positive");
             }
             // Evening social visit (campus or not): the pairwise contact
             // channel that dominates weekend dissemination.
@@ -254,13 +257,15 @@ impl DailySchedule {
                 let depart_h = rng.gen_range(17.0..19.5f64);
                 let depart = day_start + SimDuration::from_millis((depart_h * 3.6e6) as u64);
                 b.wait_until(depart.max(b.now()));
-                b.travel_to(self.homes[friend], cfg.travel_speed);
+                b.travel_to(self.homes[friend], cfg.travel_speed)
+                    .expect("schedule speeds are positive");
                 let visit_mins = rng.gen_range(
                     cfg.visit_minutes_min..=cfg.visit_minutes_max.max(cfg.visit_minutes_min),
                 );
                 let visit_end = b.now() + SimDuration::from_mins(visit_mins);
                 b.wait_until(visit_end);
-                b.travel_to(home, cfg.travel_speed);
+                b.travel_to(home, cfg.travel_speed)
+                    .expect("schedule speeds are positive");
             }
             // Sleep at home until next morning regardless.
             let next_day = SimTime::from_hours((day + 1) * 24);

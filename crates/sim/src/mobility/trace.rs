@@ -1,6 +1,7 @@
 //! Piecewise-linear trajectories: the common output format of all
 //! mobility generators and the input to contact detection.
 
+use crate::error::SimError;
 use crate::geo::Point;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -18,16 +19,19 @@ pub struct Trajectory {
 impl Trajectory {
     /// Creates a trajectory from waypoints.
     ///
-    /// # Panics
-    ///
-    /// Panics if `waypoints` is empty or timestamps are not
-    /// non-decreasing.
-    pub fn new(waypoints: Vec<(SimTime, Point)>) -> Trajectory {
-        assert!(!waypoints.is_empty(), "trajectory needs >= 1 waypoint");
-        for w in waypoints.windows(2) {
-            assert!(w[0].0 <= w[1].0, "waypoints must be time-ordered");
+    /// Returns [`SimError::EmptyTrajectory`] for an empty list and
+    /// [`SimError::UnorderedWaypoints`] when a timestamp moves backwards
+    /// — external trace data must never be able to panic the process.
+    pub fn new(waypoints: Vec<(SimTime, Point)>) -> Result<Trajectory, SimError> {
+        if waypoints.is_empty() {
+            return Err(SimError::EmptyTrajectory);
         }
-        Trajectory { waypoints }
+        for (i, w) in waypoints.windows(2).enumerate() {
+            if w[0].0 > w[1].0 {
+                return Err(SimError::UnorderedWaypoints { index: i + 1 });
+            }
+        }
+        Ok(Trajectory { waypoints })
     }
 
     /// A node that never moves.
@@ -116,22 +120,23 @@ impl TrajectoryBuilder {
 
     /// Moves in a straight line to `dest` at `speed_mps` metres/second.
     ///
-    /// # Panics
-    ///
-    /// Panics if `speed_mps` is not positive.
-    pub fn travel_to(&mut self, dest: Point, speed_mps: f64) -> &mut Self {
-        assert!(speed_mps > 0.0, "speed must be positive");
+    /// Returns [`SimError::NonPositiveSpeed`] if `speed_mps` is zero,
+    /// negative, or not finite.
+    pub fn travel_to(&mut self, dest: Point, speed_mps: f64) -> Result<&mut Self, SimError> {
+        if !(speed_mps > 0.0 && speed_mps.is_finite()) {
+            return Err(SimError::NonPositiveSpeed);
+        }
         let dist = self.position.distance(&dest);
         let travel_ms = (dist / speed_mps * 1000.0).round() as u64;
         self.cursor = SimTime::from_millis(self.cursor.as_millis() + travel_ms.max(1));
         self.position = dest;
         self.waypoints.push((self.cursor, dest));
-        self
+        Ok(self)
     }
 
     /// Finishes the trajectory.
     pub fn build(self) -> Trajectory {
-        Trajectory::new(self.waypoints)
+        Trajectory::new(self.waypoints).expect("builder waypoints are ordered by construction")
     }
 }
 
@@ -144,7 +149,8 @@ mod tests {
         let tr = Trajectory::new(vec![
             (SimTime::from_secs(0), Point::new(0.0, 0.0)),
             (SimTime::from_secs(10), Point::new(100.0, 0.0)),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(tr.position_at(SimTime::from_secs(5)), Point::new(50.0, 0.0));
         // Clamped at both ends.
         assert_eq!(tr.position_at(SimTime::ZERO), Point::new(0.0, 0.0));
@@ -166,7 +172,7 @@ mod tests {
     fn builder_sequences_segments() {
         let mut b = TrajectoryBuilder::new(SimTime::ZERO, Point::new(0.0, 0.0));
         b.wait_until(SimTime::from_secs(60));
-        b.travel_to(Point::new(60.0, 0.0), 1.0); // 60 s of travel
+        b.travel_to(Point::new(60.0, 0.0), 1.0).unwrap(); // 60 s of travel
         let tr = b.build();
         assert_eq!(tr.position_at(SimTime::from_secs(30)), Point::new(0.0, 0.0));
         assert_eq!(
@@ -177,11 +183,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn unordered_waypoints_panic() {
-        Trajectory::new(vec![
+    fn unordered_waypoints_error() {
+        let err = Trajectory::new(vec![
             (SimTime::from_secs(5), Point::new(0.0, 0.0)),
             (SimTime::from_secs(1), Point::new(1.0, 0.0)),
-        ]);
+        ])
+        .unwrap_err();
+        assert_eq!(err, SimError::UnorderedWaypoints { index: 1 });
+    }
+
+    #[test]
+    fn empty_waypoints_error() {
+        assert_eq!(
+            Trajectory::new(Vec::new()).unwrap_err(),
+            SimError::EmptyTrajectory
+        );
+    }
+
+    #[test]
+    fn bad_speed_errors() {
+        let mut b = TrajectoryBuilder::new(SimTime::ZERO, Point::new(0.0, 0.0));
+        for speed in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                b.travel_to(Point::new(1.0, 0.0), speed).unwrap_err(),
+                SimError::NonPositiveSpeed
+            );
+        }
+        // The failed calls left the builder untouched.
+        assert_eq!(b.build().waypoints().len(), 1);
     }
 }

@@ -270,11 +270,13 @@ mod tests {
         let a = Trajectory::new(vec![
             (SimTime::ZERO, Point::new(0.0, 0.0)),
             (SimTime::from_secs(1000), Point::new(1000.0, 0.0)),
-        ]);
+        ])
+        .unwrap();
         let b = Trajectory::new(vec![
             (SimTime::ZERO, Point::new(1000.0, 0.0)),
             (SimTime::from_secs(1000), Point::new(0.0, 0.0)),
-        ]);
+        ])
+        .unwrap();
         World::new(vec![a, b], 60.0, SimDuration::from_secs(10))
     }
 

@@ -1,0 +1,229 @@
+//! The compact binary trace format: delta-encoded timestamps, LEB128
+//! varints, exact `f64` distances.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic    b"SOSTRC01"            8 bytes
+//! flags    u8                     bit 0: range_m present
+//! range_m  f64 LE                 8 bytes, only if flag set
+//! nodes    varint
+//! count    varint
+//! events   count ×:
+//!   dt       varint               ms since previous event (first: since 0)
+//!   a_phase  varint               (a << 1) | (1 if Up else 0)
+//!   b        varint
+//!   distance f64 LE               8 bytes (bit-exact round trip)
+//! ```
+//!
+//! Encounter timelines are dominated by small time deltas (many events
+//! share a discovery tick, so `dt` is usually 0 or one tick) and small
+//! node indices, which is exactly what varint + delta encoding
+//! compresses; distances stay raw so decode(encode(t)) == t holds
+//! bit-for-bit — the round-trip guarantee the property tests assert.
+
+use crate::error::TraceError;
+use crate::record::ContactTrace;
+use sos_sim::world::{ContactEvent, ContactPhase};
+use sos_sim::SimTime;
+
+const MAGIC: &[u8; 8] = b"SOSTRC01";
+const FLAG_RANGE: u8 = 0b0000_0001;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(TraceError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(TraceError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::VarintOverflow);
+        }
+    }
+}
+
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, TraceError> {
+    let end = pos.checked_add(8).ok_or(TraceError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(TraceError::Truncated)?;
+    *pos = end;
+    Ok(f64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Serializes a trace to the compact binary format.
+pub fn to_binary(trace: &ContactTrace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + trace.len() * 14);
+    out.extend_from_slice(MAGIC);
+    match trace.range_m() {
+        Some(r) => {
+            out.push(FLAG_RANGE);
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    put_varint(&mut out, trace.node_count() as u64);
+    put_varint(&mut out, trace.len() as u64);
+    let mut prev = 0u64;
+    for ev in trace.events() {
+        let t = ev.time.as_millis();
+        put_varint(&mut out, t - prev);
+        prev = t;
+        let phase_bit = u64::from(ev.phase == ContactPhase::Up);
+        put_varint(&mut out, (ev.a as u64) << 1 | phase_bit);
+        put_varint(&mut out, ev.b as u64);
+        out.extend_from_slice(&ev.distance_m.to_le_bytes());
+    }
+    out
+}
+
+/// Parses the compact binary format.
+pub fn from_binary(buf: &[u8]) -> Result<ContactTrace, TraceError> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let flags = *buf.get(pos).ok_or(TraceError::Truncated)?;
+    pos += 1;
+    let range_m = if flags & FLAG_RANGE != 0 {
+        Some(get_f64(buf, &mut pos)?)
+    } else {
+        None
+    };
+    let nodes = get_varint(buf, &mut pos)? as usize;
+    let count = get_varint(buf, &mut pos)? as usize;
+    // Each event costs ≥ 11 bytes (three 1-byte varints + 8-byte
+    // distance); reject counts the remaining buffer cannot possibly
+    // hold before allocating (a hostile header must not OOM the
+    // process).
+    if count > buf.len().saturating_sub(pos) / 11 {
+        return Err(TraceError::Truncated);
+    }
+    let mut events = Vec::with_capacity(count);
+    let mut t = 0u64;
+    for _ in 0..count {
+        let dt = get_varint(buf, &mut pos)?;
+        t = t.checked_add(dt).ok_or(TraceError::VarintOverflow)?;
+        let a_phase = get_varint(buf, &mut pos)?;
+        let b = get_varint(buf, &mut pos)? as usize;
+        let distance_m = get_f64(buf, &mut pos)?;
+        events.push(ContactEvent {
+            time: SimTime::from_millis(t),
+            a: (a_phase >> 1) as usize,
+            b,
+            phase: if a_phase & 1 == 1 {
+                ContactPhase::Up
+            } else {
+                ContactPhase::Down
+            },
+            distance_m,
+        });
+    }
+    ContactTrace::new(nodes, range_m, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ms: u64, a: usize, b: usize, phase: ContactPhase, d: f64) -> ContactEvent {
+        ContactEvent {
+            time: SimTime::from_millis(t_ms),
+            a,
+            b,
+            phase,
+            distance_m: d,
+        }
+    }
+
+    fn sample() -> ContactTrace {
+        use ContactPhase::{Down, Up};
+        ContactTrace::new(
+            300,
+            Some(60.0),
+            vec![
+                ev(0, 0, 1, Up, 59.999999999),
+                ev(0, 4, 255, Up, 0.0),
+                ev(30_000, 0, 1, Down, 60.1),
+                ev(30_000, 4, 255, Down, 75.0),
+                ev(u64::MAX / 2, 0, 1, Up, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_bit_exact() {
+        let trace = sample();
+        assert_eq!(from_binary(&to_binary(&trace)).unwrap(), trace);
+    }
+
+    #[test]
+    fn no_range_round_trips() {
+        let trace = ContactTrace::new(2, None, vec![ev(5, 0, 1, ContactPhase::Up, 3.25)]).unwrap();
+        let buf = to_binary(&trace);
+        assert_eq!(from_binary(&buf).unwrap(), trace);
+    }
+
+    #[test]
+    fn compactness_beats_text() {
+        let trace = sample();
+        let bin = to_binary(&trace);
+        let text = crate::codec_text::to_text(&trace);
+        assert!(
+            bin.len() < text.len(),
+            "binary {} >= text {}",
+            bin.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_errors() {
+        assert_eq!(from_binary(b"NOTATRCE"), Err(TraceError::BadMagic));
+        assert_eq!(from_binary(b"SOS"), Err(TraceError::BadMagic));
+        let good = to_binary(&sample());
+        for cut in [9, 12, good.len() - 1] {
+            let err = from_binary(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Truncated | TraceError::VarintOverflow),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_cheaply() {
+        // Counts the remaining bytes cannot possibly hold must be
+        // rejected before the event Vec is allocated, including lies
+        // smaller than the buffer length (events cost ≥ 11 bytes, so
+        // a count near buf.len() is still ~40x over-allocation).
+        for lie in [u64::MAX, 1_000_000, 64] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(b"SOSTRC01");
+            buf.push(0); // no range
+            put_varint(&mut buf, 10); // nodes
+            put_varint(&mut buf, lie);
+            buf.extend_from_slice(&[0u8; 64]); // far fewer than 11 * lie
+            assert_eq!(from_binary(&buf), Err(TraceError::Truncated), "count {lie}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The human-readable trace format, compatible with ONE-simulator
+//! style connectivity traces.
+//!
+//! Canonical form (what [`to_text`] writes and [`from_text`] reads
+//! back losslessly):
+//!
+//! ```text
+//! # sos-trace v1
+//! # nodes 10
+//! # range_m 60
+//! 30000 0 2 up 42.75
+//! 48000 0 2 down 61.2
+//! ```
+//!
+//! One event per line: `<time_ms> <a> <b> <up|down> <distance_m>`,
+//! ordered exactly as the timeline. Distances are printed with Rust's
+//! shortest round-trip `f64` formatting, so text round-trips are exact
+//! bit-for-bit.
+//!
+//! For importing published CRAWDAD-style traces, ONE connectivity
+//! lines are also accepted: `<time_s> CONN <a> <b> <up|down>` (time in
+//! seconds, fractional allowed, no distance — recorded as 0). Node
+//! count is taken from the header when present, otherwise inferred as
+//! `max index + 1`.
+
+use crate::error::TraceError;
+use crate::record::ContactTrace;
+use sos_sim::world::{ContactEvent, ContactPhase};
+use sos_sim::SimTime;
+use std::fmt::Write as _;
+
+/// Serializes a trace to the canonical text format.
+pub fn to_text(trace: &ContactTrace) -> String {
+    let mut out = String::with_capacity(64 + trace.len() * 32);
+    out.push_str("# sos-trace v1\n");
+    let _ = writeln!(out, "# nodes {}", trace.node_count());
+    if let Some(r) = trace.range_m() {
+        let _ = writeln!(out, "# range_m {r:?}");
+    }
+    for ev in trace.events() {
+        let phase = match ev.phase {
+            ContactPhase::Up => "up",
+            ContactPhase::Down => "down",
+        };
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {:?}",
+            ev.time.as_millis(),
+            ev.a,
+            ev.b,
+            phase,
+            ev.distance_m
+        );
+    }
+    out
+}
+
+fn parse_phase(token: &str, line: usize) -> Result<ContactPhase, TraceError> {
+    match token.to_ascii_lowercase().as_str() {
+        "up" => Ok(ContactPhase::Up),
+        "down" => Ok(ContactPhase::Down),
+        other => Err(TraceError::Parse {
+            line,
+            reason: format!("unknown phase {other:?}"),
+        }),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T, TraceError> {
+    token.parse().map_err(|_| TraceError::Parse {
+        line,
+        reason: format!("bad {what} {token:?}"),
+    })
+}
+
+/// Parses the canonical text format (and ONE-style `CONN` lines).
+pub fn from_text(text: &str) -> Result<ContactTrace, TraceError> {
+    let mut nodes: Option<usize> = None;
+    let mut range_m: Option<f64> = None;
+    let mut events: Vec<ContactEvent> = Vec::new();
+    let mut max_node = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.trim();
+        if content.is_empty() {
+            continue;
+        }
+        if let Some(comment) = content.strip_prefix('#') {
+            let mut it = comment.split_whitespace();
+            match it.next() {
+                Some("nodes") => {
+                    let n = it.next().ok_or_else(|| TraceError::Parse {
+                        line,
+                        reason: "missing node count".into(),
+                    })?;
+                    nodes = Some(parse_num(n, line, "node count")?);
+                }
+                Some("range_m") => {
+                    let r = it.next().ok_or_else(|| TraceError::Parse {
+                        line,
+                        reason: "missing range".into(),
+                    })?;
+                    range_m = Some(parse_num(r, line, "range")?);
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        let tokens: Vec<&str> = content.split_whitespace().collect();
+        let ev = if tokens.len() == 5 && tokens[1].eq_ignore_ascii_case("CONN") {
+            // ONE style: <time_s> CONN <a> <b> <up|down>
+            let secs: f64 = parse_num(tokens[0], line, "time")?;
+            if !(secs.is_finite() && secs >= 0.0) {
+                return Err(TraceError::Parse {
+                    line,
+                    reason: format!("bad time {:?}", tokens[0]),
+                });
+            }
+            let a: usize = parse_num(tokens[2], line, "node")?;
+            let b: usize = parse_num(tokens[3], line, "node")?;
+            // ONE traces order pairs arbitrarily; normalize to a < b.
+            ContactEvent {
+                time: SimTime::from_millis((secs * 1000.0).round() as u64),
+                a: a.min(b),
+                b: a.max(b),
+                phase: parse_phase(tokens[4], line)?,
+                distance_m: 0.0,
+            }
+        } else if tokens.len() == 5 {
+            // Canonical: <time_ms> <a> <b> <up|down> <distance_m>
+            ContactEvent {
+                time: SimTime::from_millis(parse_num(tokens[0], line, "time")?),
+                a: parse_num(tokens[1], line, "node")?,
+                b: parse_num(tokens[2], line, "node")?,
+                phase: parse_phase(tokens[3], line)?,
+                distance_m: parse_num(tokens[4], line, "distance")?,
+            }
+        } else {
+            return Err(TraceError::Parse {
+                line,
+                reason: format!("expected 5 fields, got {}", tokens.len()),
+            });
+        };
+        max_node = max_node.max(ev.b).max(ev.a);
+        events.push(ev);
+    }
+
+    let nodes = nodes.unwrap_or(if events.is_empty() { 0 } else { max_node + 1 });
+    ContactTrace::new(nodes, range_m, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContactTrace {
+        let events = vec![
+            ContactEvent {
+                time: SimTime::ZERO,
+                a: 0,
+                b: 1,
+                phase: ContactPhase::Up,
+                distance_m: 12.5,
+            },
+            ContactEvent {
+                time: SimTime::from_secs(90),
+                a: 0,
+                b: 1,
+                phase: ContactPhase::Down,
+                distance_m: 60.000001,
+            },
+        ];
+        ContactTrace::new(4, Some(60.0), events).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let trace = sample();
+        let text = to_text(&trace);
+        assert_eq!(from_text(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn one_style_conn_lines_import() {
+        let text = "0.0 CONN 3 7 up\n12.5 CONN 3 7 down\n";
+        let trace = from_text(text).unwrap();
+        assert_eq!(trace.node_count(), 8); // inferred
+        assert_eq!(trace.range_m(), None);
+        assert_eq!(trace.events()[1].time, SimTime::from_millis(12_500));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_text("0 0 1 up 1.0\nnot a line\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err:?}");
+        let err = from_text("0 0 1 sideways 1.0\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_timeline_is_rejected_not_panicking() {
+        // Valid lines, invalid timeline (down without up).
+        let err = from_text("# nodes 2\n0 0 1 down 1.0\n").unwrap_err();
+        assert_eq!(err, TraceError::PhaseViolation { index: 0 });
+    }
+
+    #[test]
+    fn header_node_count_wins_over_inference() {
+        let trace = from_text("# nodes 50\n0 0 1 up 1.0\n").unwrap();
+        assert_eq!(trace.node_count(), 50);
+    }
+}

@@ -1,0 +1,125 @@
+//! Trace ingestion errors.
+//!
+//! Everything that reads external data — trace files, recorded event
+//! streams — returns [`TraceError`]; malformed input must never panic
+//! the process (the same contract as [`sos_sim::SimError`], which this
+//! type wraps for trajectory-level faults).
+
+use sos_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a contact trace could not be constructed or decoded.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An event references a node index at or beyond the node count.
+    NodeOutOfRange {
+        /// Index of the offending event.
+        index: usize,
+        /// The node index that was out of range.
+        node: usize,
+        /// The trace's node count.
+        nodes: usize,
+    },
+    /// An event pair is not normalized (`a < b` is required).
+    UnorderedPair {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// Event timestamps must be non-decreasing.
+    UnorderedEvents {
+        /// Index of the first event that moves backwards in time.
+        index: usize,
+    },
+    /// Per pair, phases must strictly alternate starting with `Up`.
+    PhaseViolation {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A distance is negative, NaN, or infinite.
+    BadDistance {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A text line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The binary buffer does not start with the expected magic.
+    BadMagic,
+    /// The binary buffer ended mid-record.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A trajectory embedded in the ingested data was malformed.
+    Trajectory(SimError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NodeOutOfRange { index, node, nodes } => {
+                write!(f, "event {index}: node {node} >= node count {nodes}")
+            }
+            TraceError::UnorderedPair { index } => {
+                write!(f, "event {index}: pair must satisfy a < b")
+            }
+            TraceError::UnorderedEvents { index } => {
+                write!(f, "event {index} moves backwards in time")
+            }
+            TraceError::PhaseViolation { index } => {
+                write!(f, "event {index}: phases must alternate up/down per pair")
+            }
+            TraceError::BadDistance { index } => {
+                write!(f, "event {index}: distance must be finite and non-negative")
+            }
+            TraceError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            TraceError::BadMagic => f.write_str("not a sos-trace binary (bad magic)"),
+            TraceError::Truncated => f.write_str("binary trace truncated mid-record"),
+            TraceError::VarintOverflow => f.write_str("varint exceeds 64 bits"),
+            TraceError::Trajectory(e) => write!(f, "embedded trajectory: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Trajectory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for TraceError {
+    fn from(e: SimError) -> TraceError {
+        TraceError::Trajectory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::NodeOutOfRange {
+            index: 4,
+            node: 9,
+            nodes: 5,
+        };
+        assert!(e.to_string().contains("node 9"));
+        assert!(TraceError::Parse {
+            line: 12,
+            reason: "bad phase".into()
+        }
+        .to_string()
+        .contains("line 12"));
+        let wrapped: TraceError = SimError::EmptyTrajectory.into();
+        assert!(wrapped.to_string().contains("trajectory"));
+    }
+}

@@ -1,0 +1,216 @@
+//! [`ContactTrace`]: a validated, self-contained encounter timeline.
+//!
+//! This is the interchange value of the whole subsystem: recorders
+//! produce it, codecs serialize it, [`TraceContactSource`] replays it,
+//! analytics summarize it.
+//!
+//! [`TraceContactSource`]: crate::TraceContactSource
+
+use crate::error::TraceError;
+use sos_sim::world::{collapse_intervals, ContactEvent, ContactInterval, ContactPhase};
+use sos_sim::{EncounterSource, SimTime};
+use std::collections::HashMap;
+
+/// A recorded (or synthesized, or imported) encounter timeline: every
+/// pairwise contact transition of a node population over a window,
+/// plus the metadata needed to re-drive an experiment from it.
+///
+/// Invariants (checked by [`ContactTrace::new`], upheld by every
+/// constructor in this crate):
+///
+/// * every event satisfies `a < b < nodes`;
+/// * timestamps are non-decreasing in event order;
+/// * per pair, phases strictly alternate starting with `Up`;
+/// * distances are finite and non-negative.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContactTrace {
+    nodes: usize,
+    range_m: Option<f64>,
+    events: Vec<ContactEvent>,
+}
+
+impl ContactTrace {
+    /// Validates and wraps an event timeline.
+    pub fn new(
+        nodes: usize,
+        range_m: Option<f64>,
+        events: Vec<ContactEvent>,
+    ) -> Result<ContactTrace, TraceError> {
+        let mut last_time = SimTime::ZERO;
+        let mut open: HashMap<(usize, usize), bool> = HashMap::new();
+        for (index, ev) in events.iter().enumerate() {
+            if ev.a >= ev.b {
+                return Err(TraceError::UnorderedPair { index });
+            }
+            if ev.b >= nodes {
+                return Err(TraceError::NodeOutOfRange {
+                    index,
+                    node: ev.b,
+                    nodes,
+                });
+            }
+            if index > 0 && ev.time < last_time {
+                return Err(TraceError::UnorderedEvents { index });
+            }
+            last_time = ev.time;
+            if !(ev.distance_m.is_finite() && ev.distance_m >= 0.0) {
+                return Err(TraceError::BadDistance { index });
+            }
+            let up = open.entry((ev.a, ev.b)).or_insert(false);
+            match ev.phase {
+                ContactPhase::Up if !*up => *up = true,
+                ContactPhase::Down if *up => *up = false,
+                _ => return Err(TraceError::PhaseViolation { index }),
+            }
+        }
+        Ok(ContactTrace {
+            nodes,
+            range_m,
+            events,
+        })
+    }
+
+    /// Records the encounter timeline of any [`EncounterSource`] over
+    /// `[start, end]` — the "field study tape recorder". The recorded
+    /// trace replayed through
+    /// [`TraceContactSource`](crate::TraceContactSource) reproduces the
+    /// source's timeline exactly.
+    pub fn record<S: EncounterSource>(
+        source: &S,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<ContactTrace, TraceError> {
+        ContactTrace::new(
+            source.node_count(),
+            source.range_hint_m(),
+            source.encounter_events(start, end),
+        )
+    }
+
+    /// Number of nodes in the population.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The communication range that produced this timeline, if known.
+    pub fn range_m(&self) -> Option<f64> {
+        self.range_m
+    }
+
+    /// The full event timeline.
+    pub fn events(&self) -> &[ContactEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the last event (`SimTime::ZERO` when empty).
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map_or(SimTime::ZERO, |ev| ev.time)
+    }
+
+    /// Closed contact intervals; contacts still open at the end of the
+    /// timeline are closed at `end`.
+    pub fn intervals(&self, end: SimTime) -> Vec<ContactInterval> {
+        collapse_intervals(&self.events, end)
+    }
+
+    /// Consumes the trace into its raw events.
+    pub fn into_events(self) -> Vec<ContactEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_sim::mobility::trace::Trajectory;
+    use sos_sim::{Point, SimDuration, World};
+
+    fn ev(t_s: u64, a: usize, b: usize, phase: ContactPhase, d: f64) -> ContactEvent {
+        ContactEvent {
+            time: SimTime::from_secs(t_s),
+            a,
+            b,
+            phase,
+            distance_m: d,
+        }
+    }
+
+    #[test]
+    fn record_from_world_matches_contact_events() {
+        let world = World::new(
+            vec![
+                Trajectory::stationary(Point::new(0.0, 0.0)),
+                Trajectory::stationary(Point::new(30.0, 0.0)),
+            ],
+            60.0,
+            SimDuration::from_secs(30),
+        );
+        let end = SimTime::from_hours(1);
+        let trace = ContactTrace::record(&world, SimTime::ZERO, end).unwrap();
+        assert_eq!(trace.node_count(), 2);
+        assert_eq!(trace.range_m(), Some(60.0));
+        assert_eq!(trace.events(), world.contact_events(SimTime::ZERO, end));
+        assert_eq!(
+            trace.intervals(end),
+            world.contact_intervals(SimTime::ZERO, end)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_timelines() {
+        use ContactPhase::{Down, Up};
+        // Unordered pair.
+        assert_eq!(
+            ContactTrace::new(3, None, vec![ev(0, 2, 1, Up, 1.0)]).unwrap_err(),
+            TraceError::UnorderedPair { index: 0 }
+        );
+        // Node out of range.
+        assert_eq!(
+            ContactTrace::new(2, None, vec![ev(0, 0, 5, Up, 1.0)]).unwrap_err(),
+            TraceError::NodeOutOfRange {
+                index: 0,
+                node: 5,
+                nodes: 2
+            }
+        );
+        // Time going backwards.
+        assert_eq!(
+            ContactTrace::new(2, None, vec![ev(9, 0, 1, Up, 1.0), ev(3, 0, 1, Down, 1.0)])
+                .unwrap_err(),
+            TraceError::UnorderedEvents { index: 1 }
+        );
+        // Down without up / double up.
+        assert_eq!(
+            ContactTrace::new(2, None, vec![ev(0, 0, 1, Down, 1.0)]).unwrap_err(),
+            TraceError::PhaseViolation { index: 0 }
+        );
+        assert_eq!(
+            ContactTrace::new(2, None, vec![ev(0, 0, 1, Up, 1.0), ev(5, 0, 1, Up, 1.0)])
+                .unwrap_err(),
+            TraceError::PhaseViolation { index: 1 }
+        );
+        // NaN distance.
+        assert_eq!(
+            ContactTrace::new(2, None, vec![ev(0, 0, 1, Up, f64::NAN)]).unwrap_err(),
+            TraceError::BadDistance { index: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = ContactTrace::new(5, Some(60.0), Vec::new()).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(trace.end_time(), SimTime::ZERO);
+        assert!(trace.intervals(SimTime::from_hours(1)).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: both trace codecs must round-trip arbitrary valid
+//! timelines exactly — including edge timestamps (t = 0, huge deltas)
+//! and simultaneous up/down transitions of different pairs.
+
+use proptest::prelude::*;
+use sos_sim::world::{ContactEvent, ContactPhase};
+use sos_sim::SimTime;
+use sos_trace::{codec_binary, codec_text, ContactTrace};
+use std::collections::BTreeMap;
+
+const NODES: usize = 9;
+
+/// Builds a valid timeline from raw per-meeting tuples: each tuple
+/// selects a pair, a gap before the meeting, and a duration. Per-pair
+/// cursors enforce strict up/down alternation; zero gaps across pairs
+/// produce simultaneous transitions on purpose.
+fn trace_from_raw(raw: Vec<(usize, usize, u64, u64, u32)>) -> ContactTrace {
+    let mut cursors: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut events: Vec<ContactEvent> = Vec::new();
+    for (x, y, gap_sel, dur_ms, dist_raw) in raw {
+        let (a, b) = (x.min(y), x.max(y));
+        let (a, b) = if a == b { (a, a + 1) } else { (a, b) };
+        // Gap modes: exact-zero (simultaneous transitions), dense
+        // tick-like, and huge timestamp jumps (edge timestamps).
+        let gap_ms = match gap_sel % 5 {
+            0 => 0,
+            4 => (1u64 << 40) + gap_sel,
+            _ => gap_sel,
+        };
+        let cursor = cursors.entry((a, b)).or_insert(0);
+        let start = cursor.saturating_add(gap_ms);
+        let end = start.saturating_add(dur_ms.max(1));
+        // Distances exercise awkward but valid floats.
+        let distance_m = f64::from(dist_raw) / 7.0;
+        events.push(ContactEvent {
+            time: SimTime::from_millis(start),
+            a,
+            b,
+            phase: ContactPhase::Up,
+            distance_m,
+        });
+        events.push(ContactEvent {
+            time: SimTime::from_millis(end),
+            a,
+            b,
+            phase: ContactPhase::Down,
+            distance_m: distance_m * 3.0,
+        });
+        *cursor = end.saturating_add(1);
+    }
+    events.sort_by_key(|ev| (ev.time, ev.a, ev.b));
+    ContactTrace::new(NODES + 1, Some(60.0), events).expect("constructed timeline is valid")
+}
+
+fn arb_trace() -> impl Strategy<Value = ContactTrace> {
+    prop::collection::vec(
+        (
+            0usize..NODES,
+            0usize..NODES,
+            0u64..10_000,
+            0u64..3_600_000,
+            0u32..10_000_000,
+        ),
+        0..40,
+    )
+    .prop_map(trace_from_raw)
+}
+
+proptest! {
+    /// Binary codec: decode(encode(t)) == t, bit for bit.
+    #[test]
+    fn binary_round_trip(trace in arb_trace()) {
+        let buf = codec_binary::to_binary(&trace);
+        prop_assert_eq!(codec_binary::from_binary(&buf).unwrap(), trace);
+    }
+
+    /// Text codec: parse(render(t)) == t (shortest round-trip floats).
+    #[test]
+    fn text_round_trip(trace in arb_trace()) {
+        let text = codec_text::to_text(&trace);
+        prop_assert_eq!(codec_text::from_text(&text).unwrap(), trace);
+    }
+
+    /// Cross-codec agreement: both formats carry the same timeline.
+    #[test]
+    fn codecs_agree(trace in arb_trace()) {
+        let via_text = codec_text::from_text(&codec_text::to_text(&trace)).unwrap();
+        let via_binary = codec_binary::from_binary(&codec_binary::to_binary(&trace)).unwrap();
+        prop_assert_eq!(via_text, via_binary);
+    }
+
+    /// Corrupt binary inputs error out instead of panicking.
+    #[test]
+    fn binary_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = codec_binary::from_binary(&bytes);
+    }
+
+    /// Arbitrary text errors out instead of panicking.
+    #[test]
+    fn text_parse_never_panics(s in "[ -~\n]{0,200}") {
+        let _ = codec_text::from_text(&s);
+    }
+}

@@ -46,7 +46,7 @@ fn bus_route(offset_ms: u64, hours: u64) -> Trajectory {
     let end = SimTime::from_hours(hours);
     while b.now() < end {
         for stop in (0..SENSORS).map(sensor_position).chain([depot]) {
-            b.travel_to(stop, 8.0); // ~30 km/h city bus
+            b.travel_to(stop, 8.0).expect("positive bus speed"); // ~30 km/h
             let dwell = b.now() + SimDuration::from_secs(90); // bus stop
             b.wait_until(dwell);
         }

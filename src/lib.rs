@@ -15,6 +15,7 @@
 //! | [`graph`] | social-graph analytics (density, diameter, transitivity, ...) |
 //! | [`sim`] | discrete-event kernel, mobility models, radio ranges, metric recorders |
 //! | [`engine`] | spatial-grid contact engine, event-driven kernel, batch scenario runner |
+//! | [`trace`] | contact-trace record/replay: codecs, synthetic social traces, analytics |
 //! | [`net`] | MPC-style discovery, sessions, framing, authenticated handshake |
 //! | [`core`] | the SOS middleware: ad hoc / message / routing managers |
 //! | [`social`] | AlleyOop Social: accounts, posts, follows, feeds, cloud |
@@ -39,3 +40,4 @@ pub use sos_experiments as experiments;
 pub use sos_graph as graph;
 pub use sos_net as net;
 pub use sos_sim as sim;
+pub use sos_trace as trace;

@@ -110,7 +110,8 @@ fn store_carry_forward_two_hops() {
         (SimTime::from_mins(30), Point::new(0.0, 10.0)),
         (SimTime::from_mins(60), Point::new(2_000.0, 10.0)),
         (SimTime::from_mins(120), Point::new(2_000.0, 10.0)),
-    ]);
+    ])
+    .unwrap();
     let world = World::new(
         vec![
             Trajectory::stationary(Point::new(0.0, 0.0)),
@@ -160,7 +161,8 @@ fn interrupted_transfer_resumes_next_encounter() {
         (SimTime::from_mins(60), Point::new(30.0, 0.0)),
         (SimTime::from_mins(75), Point::new(30.0, 0.0)),
         (SimTime::from_mins(85), Point::new(5_000.0, 0.0)),
-    ]);
+    ])
+    .unwrap();
     let world = World::new(
         vec![Trajectory::stationary(Point::new(0.0, 0.0)), b_traj],
         60.0,

@@ -74,7 +74,7 @@ fn flapping_contact_recovers() {
     let world = World::new(
         vec![
             Trajectory::stationary(Point::new(0.0, 0.0)),
-            Trajectory::new(waypoints),
+            Trajectory::new(waypoints).unwrap(),
         ],
         60.0,
         SimDuration::from_secs(10),
