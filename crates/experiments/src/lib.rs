@@ -18,6 +18,10 @@
 //! * [`replay`] — record the field study's encounter timeline with
 //!   `sos-trace` and re-drive any scheme from the tape, byte-identical
 //!   to the live run (the *in vivo* evaluation loop)
+//! * [`corpus`] — field studies on imported real-world corpora
+//!   (CRAWDAD / Reality-Mining / SASSY via `sos_trace::corpora`):
+//!   population, follow graph, and span derived from the trace itself
+//!   (extension)
 //!
 //! Run `cargo run --release -p sos-experiments --bin repro -- all` to
 //! print every reproduced figure.
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod corpus;
 pub mod density;
 pub mod driver;
 pub mod eviction;

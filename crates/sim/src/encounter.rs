@@ -63,6 +63,18 @@ pub trait EncounterSource {
     fn range_hint_m(&self) -> Option<f64> {
         None
     }
+
+    /// The source's original identifier for `node`, if it has one.
+    ///
+    /// Imported real-world corpora carry device identifiers (sparse
+    /// numeric ids, Bluetooth MACs) that were remapped to dense indices
+    /// at ingestion; trace-backed sources surface the original id here
+    /// so reports can name real devices. Geometric sources have no
+    /// external identity and return `None`.
+    fn node_label(&self, node: usize) -> Option<&str> {
+        let _ = node;
+        None
+    }
 }
 
 /// Every geometric contact source is an encounter source: the adapter

@@ -6,8 +6,12 @@
 //! ```text
 //! magic    b"SOSTRC01"            8 bytes
 //! flags    u8                     bit 0: range_m present
-//! range_m  f64 LE                 8 bytes, only if flag set
+//!                                 bit 1: node-id labels present
+//! range_m  f64 LE                 8 bytes, only if flag 0 set
 //! nodes    varint
+//! labels   nodes ×:               only if flag 1 set
+//!   len      varint
+//!   bytes    UTF-8                original device id for this index
 //! count    varint
 //! events   count ×:
 //!   dt       varint               ms since previous event (first: since 0)
@@ -15,6 +19,10 @@
 //!   b        varint
 //!   distance f64 LE               8 bytes (bit-exact round trip)
 //! ```
+//!
+//! The label section preserves an imported corpus's node-id remapping
+//! (dense index → original sparse/hex device id) through the binary
+//! format, mirroring the text codec's `# node_ids` header.
 //!
 //! Encounter timelines are dominated by small time deltas (many events
 //! share a discovery tick, so `dt` is usually 0 or one tick) and small
@@ -29,6 +37,7 @@ use sos_sim::SimTime;
 
 const MAGIC: &[u8; 8] = b"SOSTRC01";
 const FLAG_RANGE: u8 = 0b0000_0001;
+const FLAG_LABELS: u8 = 0b0000_0010;
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -73,14 +82,24 @@ fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, TraceError> {
 pub fn to_binary(trace: &ContactTrace) -> Vec<u8> {
     let mut out = Vec::with_capacity(32 + trace.len() * 14);
     out.extend_from_slice(MAGIC);
-    match trace.range_m() {
-        Some(r) => {
-            out.push(FLAG_RANGE);
-            out.extend_from_slice(&r.to_le_bytes());
-        }
-        None => out.push(0),
+    let mut flags = 0u8;
+    if trace.range_m().is_some() {
+        flags |= FLAG_RANGE;
+    }
+    if trace.node_labels().is_some() {
+        flags |= FLAG_LABELS;
+    }
+    out.push(flags);
+    if let Some(r) = trace.range_m() {
+        out.extend_from_slice(&r.to_le_bytes());
     }
     put_varint(&mut out, trace.node_count() as u64);
+    if let Some(labels) = trace.node_labels() {
+        for label in labels {
+            put_varint(&mut out, label.len() as u64);
+            out.extend_from_slice(label.as_bytes());
+        }
+    }
     put_varint(&mut out, trace.len() as u64);
     let mut prev = 0u64;
     for ev in trace.events() {
@@ -109,6 +128,29 @@ pub fn from_binary(buf: &[u8]) -> Result<ContactTrace, TraceError> {
         None
     };
     let nodes = get_varint(buf, &mut pos)? as usize;
+    let labels = if flags & FLAG_LABELS != 0 {
+        // A hostile node count must not drive label-loop allocations:
+        // every label costs ≥ 1 byte (its length varint).
+        if nodes > buf.len().saturating_sub(pos) {
+            return Err(TraceError::Truncated);
+        }
+        let mut labels = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let len = get_varint(buf, &mut pos)? as usize;
+            let end = pos.checked_add(len).ok_or(TraceError::Truncated)?;
+            let bytes = buf.get(pos..end).ok_or(TraceError::Truncated)?;
+            pos = end;
+            let label = std::str::from_utf8(bytes)
+                .map_err(|_| TraceError::InvalidLabels {
+                    reason: "label is not UTF-8".into(),
+                })?
+                .to_string();
+            labels.push(label);
+        }
+        Some(labels)
+    } else {
+        None
+    };
     let count = get_varint(buf, &mut pos)? as usize;
     // Each event costs ≥ 11 bytes (three 1-byte varints + 8-byte
     // distance); reject counts the remaining buffer cannot possibly
@@ -137,7 +179,7 @@ pub fn from_binary(buf: &[u8]) -> Result<ContactTrace, TraceError> {
             distance_m,
         });
     }
-    ContactTrace::new(nodes, range_m, events)
+    ContactTrace::new_labeled(nodes, range_m, labels, events)
 }
 
 #[cfg(test)]
@@ -181,6 +223,36 @@ mod tests {
         let trace = ContactTrace::new(2, None, vec![ev(5, 0, 1, ContactPhase::Up, 3.25)]).unwrap();
         let buf = to_binary(&trace);
         assert_eq!(from_binary(&buf).unwrap(), trace);
+    }
+
+    #[test]
+    fn labels_round_trip_and_hostile_label_headers_are_rejected() {
+        let trace = ContactTrace::new_labeled(
+            3,
+            Some(10.0),
+            Some(vec!["21".into(), "33".into(), "3c:4a:92".into()]),
+            vec![ev(5, 0, 2, ContactPhase::Up, 1.5)],
+        )
+        .unwrap();
+        let buf = to_binary(&trace);
+        let back = from_binary(&buf).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.node_label(2), Some("3c:4a:92"));
+        // A lying label length must be Truncated, not a huge allocation.
+        let mut lie = Vec::new();
+        lie.extend_from_slice(MAGIC);
+        lie.push(FLAG_LABELS);
+        put_varint(&mut lie, 2); // nodes
+        put_varint(&mut lie, u64::MAX); // label 0 length
+        lie.extend_from_slice(&[0u8; 16]);
+        assert_eq!(from_binary(&lie), Err(TraceError::Truncated));
+        // A lying node count with labels flagged is rejected cheaply too.
+        let mut lie = Vec::new();
+        lie.extend_from_slice(MAGIC);
+        lie.push(FLAG_LABELS);
+        put_varint(&mut lie, u64::MAX); // nodes
+        lie.extend_from_slice(&[1u8; 8]);
+        assert_eq!(from_binary(&lie), Err(TraceError::Truncated));
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! ```text
 //! # sos-trace v1
 //! # nodes 10
+//! # node_ids 1 3 4 7 9 12 21 33 40 41
 //! # range_m 60
 //! 30000 0 2 up 42.75
 //! 48000 0 2 down 61.2
 //! ```
+//!
+//! The optional `# node_ids` header preserves the original device
+//! identifiers an imported corpus was remapped from (one
+//! whitespace-free token per node index) so the dense-index ↔ real-id
+//! mapping survives a round trip through the codec.
 //!
 //! One event per line: `<time_ms> <a> <b> <up|down> <distance_m>`,
 //! ordered exactly as the timeline. Distances are printed with Rust's
@@ -29,11 +35,56 @@ use sos_sim::world::{ContactEvent, ContactPhase};
 use sos_sim::SimTime;
 use std::fmt::Write as _;
 
+/// Largest millisecond count exactly representable as an `f64` integer
+/// (2^53). Beyond this, `as u64` conversions silently saturate or lose
+/// precision, so second→millisecond conversion rejects such times.
+const MAX_EXACT_MS: f64 = 9_007_199_254_740_992.0;
+
+/// Converts fractional seconds to milliseconds (rounding to the
+/// nearest millisecond — the timeline's resolution), or `None` when
+/// the millisecond value cannot be represented exactly as an `f64`
+/// integer: negative, non-finite, or beyond 2^53, where the old
+/// `as u64` cast silently saturated (a `1e300` timestamp must be a
+/// parse error, not `u64::MAX`).
+pub(crate) fn exact_millis_from_secs(secs: f64) -> Option<u64> {
+    let ms = secs * 1000.0;
+    if !(ms.is_finite() && (0.0..=MAX_EXACT_MS).contains(&ms)) {
+        return None;
+    }
+    Some(ms.round() as u64)
+}
+
+/// Maps a timeline-validation failure back to the source line its
+/// offending event came from. Event indices and line numbers diverge
+/// whenever the file contains comments, blank lines, or CONN lines, so
+/// reporting the raw index would point users at the wrong line; the
+/// wrapped error keeps the index.
+fn map_timeline_error(err: TraceError, event_lines: &[usize]) -> TraceError {
+    let index = match &err {
+        TraceError::NodeOutOfRange { index, .. }
+        | TraceError::UnorderedPair { index }
+        | TraceError::UnorderedEvents { index }
+        | TraceError::PhaseViolation { index }
+        | TraceError::BadDistance { index } => Some(*index),
+        _ => None,
+    };
+    match index.and_then(|i| event_lines.get(i).copied()) {
+        Some(line) => TraceError::InvalidAtLine {
+            line,
+            error: Box::new(err),
+        },
+        None => err,
+    }
+}
+
 /// Serializes a trace to the canonical text format.
 pub fn to_text(trace: &ContactTrace) -> String {
     let mut out = String::with_capacity(64 + trace.len() * 32);
     out.push_str("# sos-trace v1\n");
     let _ = writeln!(out, "# nodes {}", trace.node_count());
+    if let Some(labels) = trace.node_labels() {
+        let _ = writeln!(out, "# node_ids {}", labels.join(" "));
+    }
     if let Some(r) = trace.range_m() {
         let _ = writeln!(out, "# range_m {r:?}");
     }
@@ -55,7 +106,9 @@ pub fn to_text(trace: &ContactTrace) -> String {
     out
 }
 
-fn parse_phase(token: &str, line: usize) -> Result<ContactPhase, TraceError> {
+/// Parses an `up`/`down` token (shared with the corpora adapters so
+/// strict and sanitizing CONN parsing cannot drift apart).
+pub(crate) fn parse_phase(token: &str, line: usize) -> Result<ContactPhase, TraceError> {
     match token.to_ascii_lowercase().as_str() {
         "up" => Ok(ContactPhase::Up),
         "down" => Ok(ContactPhase::Down),
@@ -64,6 +117,20 @@ fn parse_phase(token: &str, line: usize) -> Result<ContactPhase, TraceError> {
             reason: format!("unknown phase {other:?}"),
         }),
     }
+}
+
+/// Parses a fractional-seconds token into exact milliseconds, with the
+/// saturation guard and error wording shared by the strict CONN parser
+/// and every corpora adapter.
+pub(crate) fn parse_secs_as_millis(token: &str, line: usize) -> Result<u64, TraceError> {
+    let secs: f64 = token.parse().map_err(|_| TraceError::Parse {
+        line,
+        reason: format!("bad time {token:?}"),
+    })?;
+    exact_millis_from_secs(secs).ok_or_else(|| TraceError::Parse {
+        line,
+        reason: format!("time {token:?} has no exact millisecond value"),
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T, TraceError> {
@@ -77,7 +144,10 @@ fn parse_num<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Resu
 pub fn from_text(text: &str) -> Result<ContactTrace, TraceError> {
     let mut nodes: Option<usize> = None;
     let mut range_m: Option<f64> = None;
+    let mut labels: Option<Vec<String>> = None;
+    let mut labels_line = 0usize;
     let mut events: Vec<ContactEvent> = Vec::new();
+    let mut event_lines: Vec<usize> = Vec::new();
     let mut max_node = 0usize;
 
     for (idx, raw) in text.lines().enumerate() {
@@ -96,6 +166,10 @@ pub fn from_text(text: &str) -> Result<ContactTrace, TraceError> {
                     })?;
                     nodes = Some(parse_num(n, line, "node count")?);
                 }
+                Some("node_ids") => {
+                    labels = Some(it.map(str::to_string).collect());
+                    labels_line = line;
+                }
                 Some("range_m") => {
                     let r = it.next().ok_or_else(|| TraceError::Parse {
                         line,
@@ -110,18 +184,21 @@ pub fn from_text(text: &str) -> Result<ContactTrace, TraceError> {
         let tokens: Vec<&str> = content.split_whitespace().collect();
         let ev = if tokens.len() == 5 && tokens[1].eq_ignore_ascii_case("CONN") {
             // ONE style: <time_s> CONN <a> <b> <up|down>
-            let secs: f64 = parse_num(tokens[0], line, "time")?;
-            if !(secs.is_finite() && secs >= 0.0) {
-                return Err(TraceError::Parse {
-                    line,
-                    reason: format!("bad time {:?}", tokens[0]),
-                });
-            }
+            let ms = parse_secs_as_millis(tokens[0], line)?;
             let a: usize = parse_num(tokens[2], line, "node")?;
             let b: usize = parse_num(tokens[3], line, "node")?;
+            // Real noisy logs contain self-contacts; in this strict
+            // parser that is a named error (the sanitizing corpora
+            // importers drop and count them instead).
+            if a == b {
+                return Err(TraceError::Parse {
+                    line,
+                    reason: format!("self-contact: CONN {a} {b}"),
+                });
+            }
             // ONE traces order pairs arbitrarily; normalize to a < b.
             ContactEvent {
-                time: SimTime::from_millis((secs * 1000.0).round() as u64),
+                time: SimTime::from_millis(ms),
                 a: a.min(b),
                 b: a.max(b),
                 phase: parse_phase(tokens[4], line)?,
@@ -144,10 +221,20 @@ pub fn from_text(text: &str) -> Result<ContactTrace, TraceError> {
         };
         max_node = max_node.max(ev.b).max(ev.a);
         events.push(ev);
+        event_lines.push(line);
     }
 
-    let nodes = nodes.unwrap_or(if events.is_empty() { 0 } else { max_node + 1 });
-    ContactTrace::new(nodes, range_m, events)
+    let nodes = nodes
+        .or(labels.as_ref().map(Vec::len))
+        .unwrap_or(if events.is_empty() { 0 } else { max_node + 1 });
+    ContactTrace::new_labeled(nodes, range_m, labels, events).map_err(|err| match err {
+        // Label failures come from the `# node_ids` header line.
+        TraceError::InvalidLabels { .. } => TraceError::InvalidAtLine {
+            line: labels_line,
+            error: Box::new(err),
+        },
+        other => map_timeline_error(other, &event_lines),
+    })
 }
 
 #[cfg(test)]
@@ -200,9 +287,114 @@ mod tests {
 
     #[test]
     fn malformed_timeline_is_rejected_not_panicking() {
-        // Valid lines, invalid timeline (down without up).
+        // Valid lines, invalid timeline (down without up). The error
+        // names the source line and keeps the event index.
         let err = from_text("# nodes 2\n0 0 1 down 1.0\n").unwrap_err();
-        assert_eq!(err, TraceError::PhaseViolation { index: 0 });
+        assert_eq!(
+            err,
+            TraceError::InvalidAtLine {
+                line: 2,
+                error: Box::new(TraceError::PhaseViolation { index: 0 })
+            }
+        );
+    }
+
+    #[test]
+    fn timeline_errors_report_source_lines_not_event_indices() {
+        // Comments, blank lines, and a CONN line push line numbers away
+        // from event indices: the phase violation below is event 2 but
+        // sits on line 8.
+        let text = "# sos-trace v1\n\
+                    # nodes 3\n\
+                    # a free-form comment\n\
+                    \n\
+                    0 0 1 up 1.0\n\
+                    5.0 CONN 1 2 up\n\
+                    # another comment\n\
+                    6000 0 1 up 1.0\n";
+        let err = from_text(text).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::InvalidAtLine {
+                line: 8,
+                error: Box::new(TraceError::PhaseViolation { index: 2 })
+            }
+        );
+        assert!(err.to_string().contains("line 8"), "{err}");
+        // Backwards time maps the same way.
+        let err =
+            from_text("# nodes 2\n# pad\n9000 0 1 up 1.0\n\n3000 0 1 down 1.0\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::InvalidAtLine {
+                line: 5,
+                error: Box::new(TraceError::UnorderedEvents { index: 1 })
+            }
+        );
+    }
+
+    #[test]
+    fn huge_conn_times_error_instead_of_saturating() {
+        // (1e300 * 1000).round() as u64 used to silently saturate to
+        // u64::MAX; now it is a parse error on the right line.
+        for bad in ["1e300", "9.1e12", "inf", "nan", "-4"] {
+            let text = format!("{bad} CONN 0 1 up\n");
+            let err = from_text(&text).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Parse { line: 1, .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        // Huge-but-exact millisecond values still parse.
+        let ok = from_text("9000000000000 CONN 0 1 up\n").unwrap();
+        assert_eq!(ok.events()[0].time.as_millis(), 9_000_000_000_000_000);
+    }
+
+    #[test]
+    fn conn_self_contact_is_a_named_parse_error() {
+        // a == b used to surface as an unhelpful UnorderedPair; strict
+        // parsing now names the self-contact and its line.
+        let err = from_text("0.0 CONN 5 5 up\n").unwrap_err();
+        match &err {
+            TraceError::Parse { line, reason } => {
+                assert_eq!(*line, 1);
+                assert!(reason.contains("self-contact"), "{reason}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_ids_header_round_trips_and_sets_node_count() {
+        let trace = ContactTrace::new_labeled(
+            3,
+            Some(10.0),
+            Some(vec!["21".into(), "33".into(), "3c:4a:92".into()]),
+            vec![ContactEvent {
+                time: SimTime::ZERO,
+                a: 0,
+                b: 2,
+                phase: ContactPhase::Up,
+                distance_m: 1.0,
+            }],
+        )
+        .unwrap();
+        let text = to_text(&trace);
+        assert!(text.contains("# node_ids 21 33 3c:4a:92"), "{text}");
+        assert_eq!(from_text(&text).unwrap(), trace);
+        // Without a `# nodes` header the id list fixes the population.
+        let parsed = from_text("# node_ids x y z\n").unwrap();
+        assert_eq!(parsed.node_count(), 3);
+        assert_eq!(parsed.node_label(2), Some("z"));
+        // Conflicting arity is an error, not silent truncation — and
+        // it names the `# node_ids` header's line.
+        match from_text("# nodes 2\n# node_ids x y z\n").unwrap_err() {
+            TraceError::InvalidAtLine { line, error } => {
+                assert_eq!(line, 2);
+                assert!(matches!(*error, TraceError::InvalidLabels { .. }));
+            }
+            other => panic!("expected line-mapped InvalidLabels, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! A minimal vendored gzip/DEFLATE reader for gzip-framed corpus
+//! files — stored (uncompressed) and fixed-Huffman blocks only.
+//!
+//! Published traces are routinely distributed gzip-compressed; the
+//! build environment has no registry access, so instead of an external
+//! `flate2` this module implements the small subset of RFC 1951/1952
+//! the importers need:
+//!
+//! * gzip member framing (magic, flags, FEXTRA/FNAME/FCOMMENT/FHCRC
+//!   skipping, CRC-32 and ISIZE trailer verification);
+//! * stored blocks (`BTYPE=00`) and fixed-Huffman blocks (`BTYPE=01`,
+//!   literals and length/distance back-references);
+//! * dynamic-Huffman blocks (`BTYPE=10`) are rejected with a clear
+//!   error naming the limitation — re-compress with stored blocks
+//!   (e.g. [`gzip_stored`]) or decompress externally.
+//!
+//! Inputs are hostile by assumption: every read is bounds-checked,
+//! output size is capped, and all failures are [`TraceError::Gzip`] —
+//! never a panic (fuzzed in `crates/trace/tests/corpora_import.rs`).
+
+use crate::error::TraceError;
+
+/// Decompressed output cap: a corrupt or malicious stream must not be
+/// able to balloon memory (256 MiB is far beyond any contact trace).
+const MAX_OUTPUT: usize = 256 << 20;
+
+fn err(reason: impl Into<String>) -> TraceError {
+    TraceError::Gzip {
+        reason: reason.into(),
+    }
+}
+
+/// True when `bytes` starts with the gzip magic — used by the
+/// importers to transparently gunzip framed inputs.
+pub fn is_gzip(bytes: &[u8]) -> bool {
+    bytes.len() >= 2 && bytes[0] == 0x1f && bytes[1] == 0x8b
+}
+
+/// CRC-32 (reflected, polynomial `0xEDB88320`) — the gzip trailer
+/// checksum.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// LSB-first bit reader over a byte slice (DEFLATE's bit order).
+struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit position (absolute, in bits).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, pos: 0 }
+    }
+
+    fn bit(&mut self) -> Result<u32, TraceError> {
+        let byte = self
+            .data
+            .get(self.pos / 8)
+            .ok_or_else(|| err("truncated deflate stream"))?;
+        let bit = u32::from(byte >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// `n` bits, LSB first (DEFLATE integer fields and extra bits).
+    fn bits(&mut self, n: u32) -> Result<u32, TraceError> {
+        let mut v = 0u32;
+        for i in 0..n {
+            v |= self.bit()? << i;
+        }
+        Ok(v)
+    }
+
+    /// Skips to the next byte boundary (stored-block alignment).
+    fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Next byte offset (only meaningful when aligned).
+    fn byte_pos(&self) -> usize {
+        self.pos / 8
+    }
+}
+
+/// Length bases/extra bits for symbols 257..=285 (RFC 1951 §3.2.5).
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance bases/extra bits for symbols 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// Decodes one fixed-Huffman literal/length symbol. Huffman codes are
+/// packed MSB-first (RFC 1951 §3.1.1), so the code accumulates from
+/// individually read bits.
+fn fixed_litlen(r: &mut BitReader<'_>) -> Result<u32, TraceError> {
+    let mut code = 0u32;
+    for _ in 0..7 {
+        code = (code << 1) | r.bit()?;
+    }
+    if code <= 0b001_0111 {
+        return Ok(256 + code); // 7-bit codes: 256..=279
+    }
+    code = (code << 1) | r.bit()?;
+    if (0x30..=0xBF).contains(&code) {
+        return Ok(code - 0x30); // 8-bit codes: literals 0..=143
+    }
+    if (0xC0..=0xC7).contains(&code) {
+        return Ok(280 + (code - 0xC0)); // 8-bit codes: 280..=287
+    }
+    code = (code << 1) | r.bit()?;
+    if (0x190..=0x1FF).contains(&code) {
+        return Ok(144 + (code - 0x190)); // 9-bit codes: literals 144..=255
+    }
+    Err(err("invalid fixed-Huffman literal/length code"))
+}
+
+/// Inflates a raw DEFLATE stream (stored + fixed-Huffman blocks).
+fn inflate(r: &mut BitReader<'_>) -> Result<Vec<u8>, TraceError> {
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = r.bit()?;
+        match r.bits(2)? {
+            0b00 => {
+                // Stored: align, LEN, NLEN (one's complement), raw bytes.
+                r.align();
+                let start = r.byte_pos();
+                let header = r
+                    .data
+                    .get(start..start + 4)
+                    .ok_or_else(|| err("truncated stored-block header"))?;
+                let len = u16::from_le_bytes([header[0], header[1]]) as usize;
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if nlen != !(len as u16) {
+                    return Err(err("stored-block LEN/NLEN mismatch"));
+                }
+                let body = r
+                    .data
+                    .get(start + 4..start + 4 + len)
+                    .ok_or_else(|| err("truncated stored block"))?;
+                if out.len() + len > MAX_OUTPUT {
+                    return Err(err("decompressed output exceeds cap"));
+                }
+                out.extend_from_slice(body);
+                r.pos = (start + 4 + len) * 8;
+            }
+            0b01 => loop {
+                // Fixed Huffman: literals, EOB, and back-references.
+                let sym = fixed_litlen(r)?;
+                match sym {
+                    0..=255 => {
+                        if out.len() >= MAX_OUTPUT {
+                            return Err(err("decompressed output exceeds cap"));
+                        }
+                        out.push(sym as u8);
+                    }
+                    256 => break,
+                    257..=285 => {
+                        let i = (sym - 257) as usize;
+                        let len = usize::from(LEN_BASE[i]) + r.bits(LEN_EXTRA[i])? as usize;
+                        let mut dist_sym = 0u32;
+                        for _ in 0..5 {
+                            dist_sym = (dist_sym << 1) | r.bit()?;
+                        }
+                        let d = dist_sym as usize;
+                        if d >= DIST_BASE.len() {
+                            return Err(err("invalid fixed-Huffman distance code"));
+                        }
+                        let dist = usize::from(DIST_BASE[d]) + r.bits(DIST_EXTRA[d])? as usize;
+                        if dist > out.len() {
+                            return Err(err("back-reference before stream start"));
+                        }
+                        if out.len() + len > MAX_OUTPUT {
+                            return Err(err("decompressed output exceeds cap"));
+                        }
+                        // Byte-by-byte: references may overlap themselves.
+                        let from = out.len() - dist;
+                        for k in 0..len {
+                            let byte = out[from + k];
+                            out.push(byte);
+                        }
+                    }
+                    _ => return Err(err("invalid literal/length symbol")),
+                }
+            },
+            0b10 => {
+                return Err(err(
+                    "dynamic-Huffman deflate blocks are not supported by the vendored \
+                     inflate (stored + fixed only); decompress externally or re-frame \
+                     with stored blocks",
+                ))
+            }
+            _ => return Err(err("reserved deflate block type")),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+/// Decompresses a single-member gzip stream, verifying the CRC-32 and
+/// ISIZE trailer.
+pub fn gunzip(bytes: &[u8]) -> Result<Vec<u8>, TraceError> {
+    if !is_gzip(bytes) {
+        return Err(err("not a gzip stream (bad magic)"));
+    }
+    if bytes.len() < 18 {
+        return Err(err("gzip stream shorter than header + trailer"));
+    }
+    if bytes[2] != 8 {
+        return Err(err(format!("unsupported compression method {}", bytes[2])));
+    }
+    let flg = bytes[3];
+    if flg & 0xE0 != 0 {
+        return Err(err("reserved gzip flag bits set"));
+    }
+    let mut pos = 10usize; // magic(2) method(1) flags(1) mtime(4) xfl(1) os(1)
+    if flg & 0x04 != 0 {
+        // FEXTRA
+        let xlen = bytes
+            .get(pos..pos + 2)
+            .map(|b| u16::from_le_bytes([b[0], b[1]]) as usize)
+            .ok_or_else(|| err("truncated FEXTRA length"))?;
+        pos = pos
+            .checked_add(2 + xlen)
+            .filter(|&p| p <= bytes.len())
+            .ok_or_else(|| err("truncated FEXTRA field"))?;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: NUL-terminated strings.
+        if flg & flag != 0 {
+            let nul = bytes[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| err("unterminated gzip name/comment"))?;
+            pos += nul + 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        // FHCRC
+        pos = pos
+            .checked_add(2)
+            .filter(|&p| p <= bytes.len())
+            .ok_or_else(|| err("truncated FHCRC field"))?;
+    }
+    let deflate = bytes
+        .get(pos..bytes.len().saturating_sub(8))
+        .filter(|d| !d.is_empty())
+        .ok_or_else(|| err("gzip stream has no deflate payload"))?;
+    let mut reader = BitReader::new(deflate);
+    let out = inflate(&mut reader)?;
+    reader.align();
+    if reader.byte_pos() != deflate.len() {
+        return Err(err("trailing garbage after final deflate block"));
+    }
+    let trailer = &bytes[bytes.len() - 8..];
+    let want_crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
+    let want_isize = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
+    if crc32(&out) != want_crc {
+        return Err(err("CRC-32 mismatch"));
+    }
+    if out.len() as u32 != want_isize {
+        return Err(err("ISIZE mismatch"));
+    }
+    Ok(out)
+}
+
+/// Produces a valid gzip stream using stored (uncompressed) blocks —
+/// the writer counterpart [`gunzip`] always accepts. Used to frame
+/// fixtures and to round-trip-test the reader; not a compressor.
+pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 32);
+    out.extend_from_slice(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff]);
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[1, 0, 0, 0xff, 0xff]); // final empty stored block
+    }
+    while let Some(chunk) = chunks.next() {
+        out.push(u8::from(chunks.peek().is_none())); // BFINAL, BTYPE=00
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test-only fixed-Huffman encoder (literals + EOB, no
+    /// back-references): exercises the `BTYPE=01` decode path with
+    /// streams built from the RFC's code table.
+    fn deflate_fixed_literals(data: &[u8]) -> Vec<u8> {
+        struct BitWriter {
+            out: Vec<u8>,
+            bit: usize,
+        }
+        impl BitWriter {
+            fn push_bit(&mut self, b: u32) {
+                if self.bit == 0 {
+                    self.out.push(0);
+                }
+                let last = self.out.last_mut().expect("pushed");
+                *last |= (b as u8 & 1) << self.bit;
+                self.bit = (self.bit + 1) % 8;
+            }
+            /// Huffman codes go MSB-first.
+            fn push_code(&mut self, code: u32, len: u32) {
+                for i in (0..len).rev() {
+                    self.push_bit((code >> i) & 1);
+                }
+            }
+            /// Integer fields go LSB-first.
+            fn push_bits(&mut self, v: u32, len: u32) {
+                for i in 0..len {
+                    self.push_bit((v >> i) & 1);
+                }
+            }
+        }
+        let mut w = BitWriter {
+            out: Vec::new(),
+            bit: 0,
+        };
+        w.push_bits(1, 1); // BFINAL
+        w.push_bits(0b01, 2); // fixed Huffman
+        for &byte in data {
+            let sym = u32::from(byte);
+            if sym < 144 {
+                w.push_code(0x30 + sym, 8);
+            } else {
+                w.push_code(0x190 + (sym - 144), 9);
+            }
+        }
+        w.push_code(0, 7); // EOB (symbol 256)
+        w.out
+    }
+
+    fn gzip_wrap(deflate: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff];
+        out.extend_from_slice(deflate);
+        out.extend_from_slice(&crc32(data).to_le_bytes());
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn stored_round_trip() {
+        for data in [b"".as_slice(), b"hello", &[7u8; 100_000]] {
+            assert_eq!(gunzip(&gzip_stored(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_literals_decode() {
+        for data in [
+            b"0.0 CONN 1 2 up\n".as_slice(),
+            b"",
+            &(0u32..=255).map(|b| b as u8).collect::<Vec<u8>>(),
+        ] {
+            let gz = gzip_wrap(&deflate_fixed_literals(data), data);
+            assert_eq!(gunzip(&gz).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_back_reference_decodes() {
+        // Hand-built: literal 'a' then a <len 5, dist 1> run -> "aaaaaa".
+        struct W(Vec<u8>, usize);
+        impl W {
+            fn bit(&mut self, b: u32) {
+                if self.1 == 0 {
+                    self.0.push(0);
+                }
+                *self.0.last_mut().unwrap() |= (b as u8 & 1) << self.1;
+                self.1 = (self.1 + 1) % 8;
+            }
+            fn code(&mut self, c: u32, n: u32) {
+                for i in (0..n).rev() {
+                    self.bit((c >> i) & 1);
+                }
+            }
+            fn int(&mut self, v: u32, n: u32) {
+                for i in 0..n {
+                    self.bit((v >> i) & 1);
+                }
+            }
+        }
+        let mut w = W(Vec::new(), 0);
+        w.int(1, 1); // BFINAL
+        w.int(0b01, 2); // fixed
+        w.code(0x30 + u32::from(b'a'), 8); // literal 'a'
+        w.code(0b0000011, 7); // symbol 259 = length 5, no extra
+        w.code(0, 5); // distance code 0 = distance 1
+        w.code(0, 7); // EOB
+        let gz = gzip_wrap(&w.0, b"aaaaaa");
+        assert_eq!(gunzip(&gz).unwrap(), b"aaaaaa");
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let good = gzip_stored(b"some corpus text\n");
+        // Truncations.
+        for cut in 0..good.len() {
+            assert!(gunzip(&good[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // Single-byte corruptions either error or round-trip-mismatch;
+        // they must never panic. (Header byte 9 is the OS field, which
+        // is not validated — skip positions whose corruption is benign.)
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x55;
+            let _ = gunzip(&bad);
+        }
+        // Wrong CRC specifically.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 5] ^= 0xff;
+        assert!(matches!(gunzip(&bad), Err(TraceError::Gzip { .. })));
+    }
+
+    #[test]
+    fn dynamic_huffman_is_rejected_with_a_clear_error() {
+        let mut gz = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xff];
+        gz.push(0b101); // BFINAL=1, BTYPE=10 (dynamic)
+        gz.extend_from_slice(&[0u8; 12]);
+        match gunzip(&gz) {
+            Err(TraceError::Gzip { reason }) => assert!(reason.contains("dynamic"), "{reason}"),
+            other => panic!("expected Gzip error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_header_fields_are_skipped() {
+        // FNAME + FCOMMENT + FEXTRA + FHCRC all present.
+        let data = b"payload";
+        let stored = &gzip_stored(data)[10..]; // deflate + trailer
+        let mut gz = vec![0x1f, 0x8b, 8, 0b0001_1110, 0, 0, 0, 0, 0, 0xff];
+        gz.extend_from_slice(&3u16.to_le_bytes()); // FEXTRA len
+        gz.extend_from_slice(b"ex!");
+        gz.extend_from_slice(b"name\0");
+        gz.extend_from_slice(b"comment\0");
+        gz.extend_from_slice(&[0xab, 0xcd]); // FHCRC (not verified)
+        gz.extend_from_slice(stored);
+        assert_eq!(gunzip(&gz).unwrap(), data);
+    }
+}

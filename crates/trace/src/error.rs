@@ -49,6 +49,31 @@ pub enum TraceError {
         /// What went wrong.
         reason: String,
     },
+    /// A syntactically valid file whose event timeline fails
+    /// validation, mapped back to the offending source line.
+    ///
+    /// Text files interleave comments and blank lines with events, so
+    /// event indices and line numbers diverge; the text codec wraps
+    /// timeline-validation failures in this variant so the user is
+    /// pointed at the actual file line. The wrapped error keeps the
+    /// event index.
+    InvalidAtLine {
+        /// 1-based source line of the offending event.
+        line: usize,
+        /// The underlying validation failure (indexed by event).
+        error: Box<TraceError>,
+    },
+    /// A node-label set is malformed (wrong arity, duplicates,
+    /// whitespace, or empty labels).
+    InvalidLabels {
+        /// What was wrong with the labels.
+        reason: String,
+    },
+    /// A gzip-framed input could not be decompressed.
+    Gzip {
+        /// What was wrong with the gzip stream.
+        reason: String,
+    },
     /// The binary buffer does not start with the expected magic.
     BadMagic,
     /// The binary buffer ended mid-record.
@@ -78,6 +103,9 @@ impl fmt::Display for TraceError {
                 write!(f, "event {index}: distance must be finite and non-negative")
             }
             TraceError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            TraceError::InvalidAtLine { line, error } => write!(f, "line {line}: {error}"),
+            TraceError::InvalidLabels { reason } => write!(f, "bad node labels: {reason}"),
+            TraceError::Gzip { reason } => write!(f, "gzip: {reason}"),
             TraceError::BadMagic => f.write_str("not a sos-trace binary (bad magic)"),
             TraceError::Truncated => f.write_str("binary trace truncated mid-record"),
             TraceError::VarintOverflow => f.write_str("varint exceeds 64 bits"),
@@ -90,6 +118,7 @@ impl Error for TraceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceError::Trajectory(e) => Some(e),
+            TraceError::InvalidAtLine { error, .. } => Some(error.as_ref()),
             _ => None,
         }
     }
@@ -121,5 +150,22 @@ mod tests {
         .contains("line 12"));
         let wrapped: TraceError = SimError::EmptyTrajectory.into();
         assert!(wrapped.to_string().contains("trajectory"));
+    }
+
+    #[test]
+    fn invalid_at_line_shows_line_and_keeps_index() {
+        let e = TraceError::InvalidAtLine {
+            line: 9,
+            error: Box::new(TraceError::PhaseViolation { index: 3 }),
+        };
+        let text = e.to_string();
+        assert!(text.contains("line 9"), "{text}");
+        assert!(text.contains("event 3"), "{text}");
+        assert!(Error::source(&e).is_some());
+        assert!(TraceError::Gzip {
+            reason: "bad block".into()
+        }
+        .to_string()
+        .contains("gzip"));
     }
 }

@@ -15,6 +15,10 @@
 //!   published traces, diff recorded ones)
 //! * [`codec_binary`] — a compact delta-encoded binary format with
 //!   bit-exact round-trip guarantees
+//! * [`corpora`] — importers for published real-world encounter
+//!   datasets (CRAWDAD haggle/infocom `CONN` logs, Reality-Mining
+//!   Bluetooth scans, SASSY ranging logs) with a sanitizer pipeline
+//!   for noisy logs, node-id remapping, and gzip framing
 //! * [`source`] — [`TraceContactSource`], replaying a trace through
 //!   the experiment driver's event kernel deterministically
 //! * [`synthetic`] — community-structured, diurnal social-trace
@@ -58,6 +62,7 @@
 pub mod analytics;
 pub mod codec_binary;
 pub mod codec_text;
+pub mod corpora;
 pub mod error;
 pub mod record;
 pub mod source;

@@ -26,6 +26,9 @@ use std::collections::HashMap;
 pub struct ContactTrace {
     nodes: usize,
     range_m: Option<f64>,
+    /// Original per-node device identifiers (imported corpora only):
+    /// `labels[i]` is the real-world id that was remapped to index `i`.
+    labels: Option<Vec<String>>,
     events: Vec<ContactEvent>,
 }
 
@@ -36,6 +39,41 @@ impl ContactTrace {
         range_m: Option<f64>,
         events: Vec<ContactEvent>,
     ) -> Result<ContactTrace, TraceError> {
+        ContactTrace::new_labeled(nodes, range_m, None, events)
+    }
+
+    /// Validates and wraps an event timeline together with the original
+    /// device identifiers its node indices were remapped from.
+    ///
+    /// Labels, when present, must be one per node, non-empty, unique,
+    /// and free of whitespace/control characters (they are round-tripped
+    /// through the whitespace-delimited text header).
+    pub fn new_labeled(
+        nodes: usize,
+        range_m: Option<f64>,
+        labels: Option<Vec<String>>,
+        events: Vec<ContactEvent>,
+    ) -> Result<ContactTrace, TraceError> {
+        if let Some(labels) = &labels {
+            if labels.len() != nodes {
+                return Err(TraceError::InvalidLabels {
+                    reason: format!("{} labels for {} nodes", labels.len(), nodes),
+                });
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for label in labels {
+                if label.is_empty() || label.chars().any(|c| c.is_whitespace() || c.is_control()) {
+                    return Err(TraceError::InvalidLabels {
+                        reason: format!("label {label:?} is empty or contains whitespace"),
+                    });
+                }
+                if !seen.insert(label) {
+                    return Err(TraceError::InvalidLabels {
+                        reason: format!("duplicate label {label:?}"),
+                    });
+                }
+            }
+        }
         let mut last_time = SimTime::ZERO;
         let mut open: HashMap<(usize, usize), bool> = HashMap::new();
         for (index, ev) in events.iter().enumerate() {
@@ -66,6 +104,7 @@ impl ContactTrace {
         Ok(ContactTrace {
             nodes,
             range_m,
+            labels,
             events,
         })
     }
@@ -95,6 +134,18 @@ impl ContactTrace {
     /// The communication range that produced this timeline, if known.
     pub fn range_m(&self) -> Option<f64> {
         self.range_m
+    }
+
+    /// Original device identifiers, one per node index (imported
+    /// corpora only; recorded and synthetic traces have none).
+    pub fn node_labels(&self) -> Option<&[String]> {
+        self.labels.as_deref()
+    }
+
+    /// The original device identifier of `node`, if the trace carries
+    /// an id mapping and `node` is in range.
+    pub fn node_label(&self, node: usize) -> Option<&str> {
+        self.labels.as_ref()?.get(node).map(String::as_str)
     }
 
     /// The full event timeline.
@@ -204,6 +255,31 @@ mod tests {
             ContactTrace::new(2, None, vec![ev(0, 0, 1, Up, f64::NAN)]).unwrap_err(),
             TraceError::BadDistance { index: 0 }
         );
+    }
+
+    #[test]
+    fn labels_are_validated_and_queryable() {
+        let events = vec![ev(0, 0, 1, ContactPhase::Up, 1.0)];
+        let labels = Some(vec!["node-7".into(), "3c:4a".into()]);
+        let trace = ContactTrace::new_labeled(2, None, labels, events.clone()).unwrap();
+        assert_eq!(trace.node_label(1), Some("3c:4a"));
+        assert_eq!(trace.node_label(2), None);
+        assert_eq!(trace.node_labels().unwrap().len(), 2);
+        // Unlabeled traces answer None everywhere.
+        let plain = ContactTrace::new(2, None, events.clone()).unwrap();
+        assert_eq!(plain.node_label(0), None);
+        // Wrong arity, whitespace, and duplicates are rejected.
+        for bad in [
+            vec!["a".to_string()],
+            vec!["a".to_string(), "has space".to_string()],
+            vec!["a".to_string(), "a".to_string()],
+            vec!["a".to_string(), String::new()],
+        ] {
+            assert!(matches!(
+                ContactTrace::new_labeled(2, None, Some(bad), events.clone()).unwrap_err(),
+                TraceError::InvalidLabels { .. }
+            ));
+        }
     }
 
     #[test]

@@ -73,6 +73,10 @@ impl EncounterSource for TraceContactSource {
     fn range_hint_m(&self) -> Option<f64> {
         self.trace.range_m()
     }
+
+    fn node_label(&self, node: usize) -> Option<&str> {
+        self.trace.node_label(node)
+    }
 }
 
 #[cfg(test)]
