@@ -16,6 +16,7 @@
 //! `SOS_BENCH_SMOKE=1` (as CI does) for a few-iteration smoke run.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sos_bench::emit::{window, Suite};
 use sos_core::message::{Bundle, SosMessage};
 use sos_core::MessageKind;
 use sos_crypto::aead;
@@ -25,59 +26,19 @@ use sos_crypto::ed25519::{self, PreparedVerifyingKey, SigningKey};
 use sos_crypto::sha2;
 use sos_crypto::x25519::AgreementKey;
 use sos_sim::SimTime;
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
 
 /// Bundles per encounter: PR 2's batched sync serves up to this many
 /// per session (`SosConfig::max_bundles_per_session`).
 const ENCOUNTER_BUNDLES: u64 = 200;
 
-fn smoke() -> bool {
-    std::env::var_os("SOS_BENCH_SMOKE").is_some()
-}
+/// The shared recorder behind every `measure` call and the JSON write.
+static SUITE: Suite = Suite::new("crypto");
 
-/// Per-measurement sampling window (shrunk in smoke mode).
-fn window() -> Duration {
-    if smoke() {
-        Duration::from_millis(20)
-    } else {
-        Duration::from_millis(300)
-    }
-}
-
-/// Collected `(name, mean nanoseconds)` pairs for the JSON summary.
-fn results() -> &'static Mutex<Vec<(String, f64)>> {
-    static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
-    &RESULTS
-}
-
-/// Times `f` adaptively (like the criterion stand-in), prints in the
-/// same format, and records the mean for the JSON summary.
-///
-/// At least 5 timed iterations always run, even when one call overruns
-/// the sampling window (the smoke-mode encounter benches): the speedup
-/// gates are asserted on these means, and a single-sample mean on a
-/// shared CI runner would make the gates flaky in both directions.
-fn measure<O, F: FnMut() -> O>(name: &str, mut f: F) -> f64 {
-    let warm = Instant::now();
-    std::hint::black_box(f());
-    let once = warm.elapsed().max(Duration::from_nanos(1));
-    let iters = (window().as_nanos() / once.as_nanos()).clamp(5, 1_000_000) as u64;
-    let start = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f());
-    }
-    let mean = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
-    let pretty = if mean < 1e3 {
-        format!("{mean:.0} ns")
-    } else if mean < 1e6 {
-        format!("{:.2} µs", mean / 1e3)
-    } else {
-        format!("{:.2} ms", mean / 1e6)
-    };
-    println!("{name:<50} time: {pretty:<12}");
-    results().lock().unwrap().push((name.to_string(), mean));
-    mean
+/// Times `f` (≥ 5 iterations — the speedup gates are asserted on these
+/// means, and a single-sample mean on a shared CI runner would make
+/// the gates flaky in both directions), prints, and records the mean.
+fn measure<O, F: FnMut() -> O>(name: &str, f: F) -> f64 {
+    SUITE.measure(name, f)
 }
 
 fn bench_hashes(c: &mut Criterion) {
@@ -118,10 +79,7 @@ fn bench_signatures(_c: &mut Criterion) {
         assert!(vk.verify_naive(std::hint::black_box(&msg), &sig));
     });
     let speedup = naive / fast;
-    results()
-        .lock()
-        .unwrap()
-        .push(("ed25519/verify_speedup".into(), speedup));
+    SUITE.record("ed25519/verify_speedup", speedup);
     println!("ed25519 verify fast-path speedup: {speedup:.1}x (gate: >= 4x)");
     assert!(
         speedup >= 4.0,
@@ -270,14 +228,8 @@ fn bench_encounter(_c: &mut Criterion) {
 
     let warm_speedup = naive / warm;
     let cold_speedup = naive / cold;
-    results()
-        .lock()
-        .unwrap()
-        .push(("encounter/warm_speedup".into(), warm_speedup));
-    results()
-        .lock()
-        .unwrap()
-        .push(("encounter/cold_speedup".into(), cold_speedup));
+    SUITE.record("encounter/warm_speedup", warm_speedup);
+    SUITE.record("encounter/cold_speedup", cold_speedup);
     println!(
         "encounter speedup: {cold_speedup:.1}x cold, {warm_speedup:.1}x warm (gate: >= 3x warm)"
     );
@@ -288,30 +240,9 @@ fn bench_encounter(_c: &mut Criterion) {
 }
 
 /// Writes every recorded measurement to `BENCH_crypto.json` at the
-/// workspace root (mean nanoseconds per name, plus the speedup gates).
-///
-/// Skipped in smoke mode: the tracked JSON records the perf trajectory
-/// across PRs from full-window runs, and a 20 ms-window CI/dev smoke
-/// run must not clobber it with low-fidelity numbers.
+/// workspace root via the shared emitter (skipped in smoke mode).
 fn emit_json(_c: &mut Criterion) {
-    if smoke() {
-        println!("smoke mode: skipping BENCH_crypto.json (full runs only)");
-        return;
-    }
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_crypto.json");
-    let results = results().lock().unwrap();
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"smoke\": {},\n", smoke()));
-    out.push_str("  \"unit\": \"ns_mean\",\n  \"measurements\": {\n");
-    for (i, (name, mean)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!("    \"{name}\": {mean:.1}{comma}\n"));
-    }
-    out.push_str("  }\n}\n");
-    std::fs::write(&path, out).expect("write BENCH_crypto.json");
-    println!("wrote {}", path.display());
+    SUITE.write_json("ns_mean");
 }
 
 criterion_group!(

@@ -13,60 +13,25 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
+use sos_bench::emit::Suite;
 use sos_sim::mobility::random_waypoint::RandomWaypoint;
 use sos_sim::mobility::trace::Trajectory;
 use sos_sim::{EncounterSource, SimDuration, SimTime, World};
 use sos_trace::{codec_binary, codec_text, ContactTrace, TraceContactSource};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
 
 const NODES: usize = 120;
 const HOURS: u64 = 6;
 
-fn smoke() -> bool {
-    std::env::var_os("SOS_BENCH_SMOKE").is_some()
-}
-
-/// Per-measurement sampling window (shrunk in smoke mode).
-fn window() -> Duration {
-    if smoke() {
-        Duration::from_millis(20)
-    } else {
-        Duration::from_millis(300)
-    }
-}
-
-/// Collected `(name, value)` pairs for the JSON summary.
-fn results() -> &'static Mutex<Vec<(String, f64)>> {
-    static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
-    &RESULTS
-}
+/// The shared recorder behind every measurement and the JSON write.
+static SUITE: Suite = Suite::new("trace");
 
 /// Times `f` adaptively, prints, and records the mean nanoseconds.
-fn measure<O, F: FnMut() -> O>(name: &str, mut f: F) -> f64 {
-    let warm = Instant::now();
-    std::hint::black_box(f());
-    let once = warm.elapsed().max(Duration::from_nanos(1));
-    let iters = (window().as_nanos() / once.as_nanos()).clamp(3, 1_000_000) as u64;
-    let start = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f());
-    }
-    let mean = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
-    let pretty = if mean < 1e3 {
-        format!("{mean:.0} ns")
-    } else if mean < 1e6 {
-        format!("{:.2} µs", mean / 1e3)
-    } else {
-        format!("{:.2} ms", mean / 1e6)
-    };
-    println!("{name:<50} time: {pretty:<12}");
-    results().lock().unwrap().push((name.to_string(), mean));
-    mean
+fn measure<O, F: FnMut() -> O>(name: &str, f: F) -> f64 {
+    SUITE.measure(name, f)
 }
 
 fn record(name: &str, value: f64) {
-    results().lock().unwrap().push((name.to_string(), value));
+    SUITE.record(name, value);
 }
 
 /// A pedestrian random-waypoint workload big enough that contact
@@ -148,27 +113,9 @@ fn bench_trace_replay(_c: &mut Criterion) {
 }
 
 /// Writes every recorded measurement to `BENCH_trace.json` at the
-/// workspace root. Skipped in smoke mode: the tracked JSON records the
-/// perf trajectory across PRs from full-window runs.
+/// workspace root via the shared emitter (skipped in smoke mode).
 fn emit_json(_c: &mut Criterion) {
-    if smoke() {
-        println!("smoke mode: skipping BENCH_trace.json (full runs only)");
-        return;
-    }
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_trace.json");
-    let results = results().lock().unwrap();
-    let mut out = String::from("{\n");
-    out.push_str("  \"smoke\": false,\n");
-    out.push_str("  \"unit\": \"ns_mean (rates/ratios as named)\",\n  \"measurements\": {\n");
-    for (i, (name, mean)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!("    \"{name}\": {mean:.1}{comma}\n"));
-    }
-    out.push_str("  }\n}\n");
-    std::fs::write(&path, out).expect("write BENCH_trace.json");
-    println!("wrote {}", path.display());
+    SUITE.write_json("ns_mean (rates/ratios as named)");
 }
 
 criterion_group!(benches, bench_trace_replay, emit_json);

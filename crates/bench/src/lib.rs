@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
+
 use sos_core::routing::SchemeKind;
 use sos_experiments::scenario::{small_test_config, FieldStudyConfig};
 

@@ -23,6 +23,8 @@ use sos_crypto::{DeviceIdentity, UserId};
 use sos_net::frame::DisconnectReason;
 use sos_net::session::SessionEvent;
 use sos_net::{Advertisement, Frame, NetError, PeerId};
+use sos_obs::journal::ObsEvent;
+use sos_obs::{Counter, NodeObs, Registry};
 use sos_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -97,6 +99,107 @@ pub struct SosStats {
     /// frames, done markers) — the per-encounter frame count the batched
     /// v2 protocol exists to shrink.
     pub sync_frames_sent: u64,
+    /// Security alerts surfaced to the application
+    /// ([`SosEvent::SecurityAlert`]): every rejection *plus* author
+    /// equivocation, matching what the experiment driver counts as
+    /// `security_alerts` — previously the middleware had no alert
+    /// counter at all, so the two layers could not be reconciled.
+    pub security_alerts: u64,
+}
+
+impl SosStats {
+    /// Adds another node's counters field-by-field (used by the
+    /// experiment drivers to aggregate fleets; keeping the sum here
+    /// means a new counter cannot be silently dropped from aggregates).
+    pub fn merge(&mut self, other: &SosStats) {
+        self.posts += other.posts;
+        self.bundles_sent += other.bundles_sent;
+        self.bundles_received += other.bundles_received;
+        self.bundles_duplicate += other.bundles_duplicate;
+        self.security_rejections += other.security_rejections;
+        self.sessions_initiated += other.sessions_initiated;
+        self.sessions_accepted += other.sessions_accepted;
+        self.requests_served += other.requests_served;
+        self.sync_frames_sent += other.sync_frames_sent;
+        self.security_alerts += other.security_alerts;
+    }
+}
+
+/// The live cells behind [`SosStats`]: lock-free [`Counter`]s that can
+/// be adopted by a [`Registry`] (per-node named views) while the
+/// middleware keeps incrementing the very same cells — the "registry-
+/// backed view" that lets [`Sos::stats`] keep returning the plain
+/// [`SosStats`] value type.
+#[derive(Clone, Debug, Default)]
+struct StatCells {
+    posts: Counter,
+    bundles_sent: Counter,
+    bundles_received: Counter,
+    bundles_duplicate: Counter,
+    security_rejections: Counter,
+    sessions_initiated: Counter,
+    sessions_accepted: Counter,
+    requests_served: Counter,
+    sync_frames_sent: Counter,
+    security_alerts: Counter,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> SosStats {
+        SosStats {
+            posts: self.posts.get(),
+            bundles_sent: self.bundles_sent.get(),
+            bundles_received: self.bundles_received.get(),
+            bundles_duplicate: self.bundles_duplicate.get(),
+            security_rejections: self.security_rejections.get(),
+            sessions_initiated: self.sessions_initiated.get(),
+            sessions_accepted: self.sessions_accepted.get(),
+            requests_served: self.requests_served.get(),
+            sync_frames_sent: self.sync_frames_sent.get(),
+            security_alerts: self.security_alerts.get(),
+        }
+    }
+
+    fn register_in(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}/posts"), &self.posts);
+        registry.register_counter(&format!("{prefix}/bundles_sent"), &self.bundles_sent);
+        registry.register_counter(
+            &format!("{prefix}/bundles_received"),
+            &self.bundles_received,
+        );
+        registry.register_counter(
+            &format!("{prefix}/bundles_duplicate"),
+            &self.bundles_duplicate,
+        );
+        registry.register_counter(
+            &format!("{prefix}/security_rejections"),
+            &self.security_rejections,
+        );
+        registry.register_counter(
+            &format!("{prefix}/sessions_initiated"),
+            &self.sessions_initiated,
+        );
+        registry.register_counter(
+            &format!("{prefix}/sessions_accepted"),
+            &self.sessions_accepted,
+        );
+        registry.register_counter(&format!("{prefix}/requests_served"), &self.requests_served);
+        registry.register_counter(
+            &format!("{prefix}/sync_frames_sent"),
+            &self.sync_frames_sent,
+        );
+        registry.register_counter(&format!("{prefix}/security_alerts"), &self.security_alerts);
+    }
+}
+
+/// Renders a disconnect reason as the journal's stable tag vocabulary.
+fn reason_tag(reason: DisconnectReason) -> &'static str {
+    match reason {
+        DisconnectReason::OutOfRange => "out_of_range",
+        DisconnectReason::SecurityFailure => "security_failure",
+        DisconnectReason::Done => "done",
+        DisconnectReason::ProtocolError => "protocol_error",
+    }
 }
 
 /// Events surfaced to the overlay application (§III-A: applications are
@@ -162,7 +265,12 @@ pub struct Sos {
     /// happened under (see [`FUTILE_RETRY_BACKOFF`]).
     futile: HashMap<PeerId, FutileMark>,
     events: VecDeque<SosEvent>,
-    stats: SosStats,
+    stats: StatCells,
+    /// Journal scope, when a driver attached one ([`Sos::attach_obs`]).
+    obs: Option<NodeObs>,
+    /// Latest sim time seen by any entry point — the timestamp for
+    /// events whose trigger carries no clock ([`Sos::on_peer_lost`]).
+    now_hint: SimTime,
 }
 
 impl std::fmt::Debug for Sos {
@@ -191,7 +299,9 @@ impl Sos {
             browse_progress: HashMap::new(),
             futile: HashMap::new(),
             events: VecDeque::new(),
-            stats: SosStats::default(),
+            stats: StatCells::default(),
+            obs: None,
+            now_hint: SimTime::ZERO,
         }
     }
 
@@ -260,9 +370,37 @@ impl Sos {
         &self.store
     }
 
-    /// Activity counters.
+    /// Activity counters (a snapshot of the live registry-backed cells).
     pub fn stats(&self) -> SosStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Attaches a journal scope: from now on the middleware records
+    /// structured [`ObsEvent`]s (session lifecycle, bundle outcomes,
+    /// evictions, want/serve decisions) into the scope's shared journal.
+    /// Observation is passive — it never changes middleware behavior.
+    pub fn attach_obs(&mut self, obs: NodeObs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached journal scope, if any.
+    pub fn obs(&self) -> Option<&NodeObs> {
+        self.obs.as_ref()
+    }
+
+    /// Adopts this node's live stat cells into `registry` under
+    /// `prefix` (e.g. `node3/sos`): the registry snapshot then sees
+    /// every subsequent increment without copying or polling.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        self.stats.register_in(registry, prefix);
+    }
+
+    /// Records a journal event when a scope is attached.
+    #[inline]
+    fn note(&self, time: SimTime, event: ObsEvent) {
+        if let Some(obs) = &self.obs {
+            obs.record(time, event);
+        }
     }
 
     /// The device identity (certificate and validator state).
@@ -299,6 +437,7 @@ impl Sos {
         payload: Vec<u8>,
         now: SimTime,
     ) -> Result<MessageId, SosError> {
+        self.now_hint = self.now_hint.max(now);
         if payload.len() > MAX_PAYLOAD {
             return Err(SosError::PayloadTooLarge {
                 size: payload.len(),
@@ -323,7 +462,7 @@ impl Sos {
         bundle.copies = self.scheme.initial_copies();
         let outcome = self.store.insert(bundle);
         debug_assert_eq!(outcome, InsertOutcome::New);
-        self.stats.posts += 1;
+        self.stats.posts.inc();
         Ok(MessageId { author: me, number })
     }
 
@@ -362,6 +501,15 @@ impl Sos {
             .close(peer, DisconnectReason::OutOfRange)
             .is_some()
         {
+            // This entry point carries no clock; the hint from the last
+            // frame/post/maintain call is the session's last live time.
+            self.note(
+                self.now_hint,
+                ObsEvent::SessionClose {
+                    peer: peer.0,
+                    reason: "out_of_range",
+                },
+            );
             self.events.push_back(SosEvent::SessionClosed { peer });
         }
     }
@@ -372,6 +520,7 @@ impl Sos {
     /// frame handling when limits are configured; also callable by
     /// applications (e.g. on a low-storage warning).
     pub fn maintain(&mut self, now: SimTime) -> usize {
+        self.now_hint = self.now_hint.max(now);
         let me = self.user_id();
         let mut evicted = 0;
         if let Some(ttl) = self.config.bundle_ttl {
@@ -385,6 +534,9 @@ impl Sos {
                 .store
                 .evict_to_capacity(max, |b| b.message.id.author == me);
         }
+        if evicted > 0 {
+            self.note(now, ObsEvent::StoreEvict { count: evicted });
+        }
         evicted
     }
 
@@ -397,6 +549,7 @@ impl Sos {
         now: SimTime,
         rng: &mut R,
     ) -> Vec<(PeerId, Frame)> {
+        self.now_hint = self.now_hint.max(now);
         if self.config.bundle_ttl.is_some() || self.config.max_stored_bundles.is_some() {
             self.maintain(now);
         }
@@ -461,7 +614,14 @@ impl Sos {
             Ok(frame) => {
                 self.pending_interests.insert(from, interests);
                 self.browse_progress.insert(from, (ad.summary.clone(), 0));
-                self.stats.sessions_initiated += 1;
+                self.stats.sessions_initiated.inc();
+                self.note(
+                    now,
+                    ObsEvent::SessionOpen {
+                        peer: from.0,
+                        initiated: true,
+                    },
+                );
                 out.push((from, frame));
             }
             Err(_) => {
@@ -482,7 +642,14 @@ impl Sos {
         match self.adhoc.on_frame(from, frame, now.as_secs(), rng) {
             Ok(SessionEvent::Reply(reply)) => {
                 if was_init {
-                    self.stats.sessions_accepted += 1;
+                    self.stats.sessions_accepted.inc();
+                    self.note(
+                        now,
+                        ObsEvent::SessionOpen {
+                            peer: from.0,
+                            initiated: false,
+                        },
+                    );
                 }
                 out.push((from, reply));
             }
@@ -495,10 +662,17 @@ impl Sos {
             Ok(SessionEvent::Payload(bytes)) => {
                 self.on_sync_payload(from, &bytes, now, out);
             }
-            Ok(SessionEvent::Closed(_)) => {
+            Ok(SessionEvent::Closed(reason)) => {
                 self.pending_interests.remove(&from);
                 self.pending_dones.remove(&from);
                 self.browse_progress.remove(&from);
+                self.note(
+                    now,
+                    ObsEvent::SessionClose {
+                        peer: from.0,
+                        reason: reason_tag(reason),
+                    },
+                );
                 self.events
                     .push_back(SosEvent::SessionClosed { peer: from });
             }
@@ -527,7 +701,8 @@ impl Sos {
                         | NetError::Crypto(_)
                 );
                 if security {
-                    self.stats.security_rejections += 1;
+                    self.stats.security_rejections.inc();
+                    self.stats.security_alerts.inc();
                     self.events.push_back(SosEvent::SecurityAlert {
                         peer: from,
                         detail: e.to_string(),
@@ -536,6 +711,17 @@ impl Sos {
                     self.events
                         .push_back(SosEvent::SessionClosed { peer: from });
                 }
+                self.note(
+                    now,
+                    ObsEvent::SessionClose {
+                        peer: from.0,
+                        reason: if security {
+                            "security_failure"
+                        } else {
+                            "protocol_error"
+                        },
+                    },
+                );
                 self.pending_interests.remove(&from);
                 self.pending_dones.remove(&from);
                 self.browse_progress.remove(&from);
@@ -557,10 +743,17 @@ impl Sos {
     /// picked at advertisement time (Fig. 2b "requests Alice's message"),
     /// as gap-aware range sets — the peer serves exactly what our held
     /// ranges are missing, holes included.
-    fn send_request(&mut self, peer: PeerId, _now: SimTime, out: &mut Vec<(PeerId, Frame)>) {
+    fn send_request(&mut self, peer: PeerId, now: SimTime, out: &mut Vec<(PeerId, Frame)>) {
         let interests = self.pending_interests.remove(&peer).unwrap_or_default();
         if interests.is_empty() {
             if let Some(bye) = self.adhoc.close(peer, DisconnectReason::Done) {
+                self.note(
+                    now,
+                    ObsEvent::SessionClose {
+                        peer: peer.0,
+                        reason: "done",
+                    },
+                );
                 out.push((peer, bye));
             }
             return;
@@ -572,7 +765,16 @@ impl Sos {
                 author,
             })
             .collect();
+        let authors = wants.len();
         let requests = SyncMsg::requests(wants);
+        self.note(
+            now,
+            ObsEvent::WantSent {
+                peer: peer.0,
+                authors,
+                chunks: requests.len(),
+            },
+        );
         // The advertiser answers every Request frame with its own Done;
         // remember how many to expect so a chunked (multi-frame) request
         // is not torn down after the first chunk's Done.
@@ -581,11 +783,11 @@ impl Sos {
             let payload = msg.encode().expect("chunked requests always encode");
             match self.adhoc.send_payload(peer, &payload) {
                 Ok(frame) => {
-                    self.stats.sync_frames_sent += 1;
+                    self.stats.sync_frames_sent.inc();
                     out.push((peer, frame));
                 }
                 Err(_) => {
-                    self.close_broken_session(peer, out);
+                    self.close_broken_session(peer, now, out);
                     return;
                 }
             }
@@ -595,10 +797,17 @@ impl Sos {
     /// Tears down a session whose send path failed: notify the peer (if
     /// a session still exists) so it does not idle until peer-loss, and
     /// surface the closure to the application.
-    fn close_broken_session(&mut self, peer: PeerId, out: &mut Vec<(PeerId, Frame)>) {
+    fn close_broken_session(&mut self, peer: PeerId, now: SimTime, out: &mut Vec<(PeerId, Frame)>) {
         if let Some(bye) = self.adhoc.close(peer, DisconnectReason::ProtocolError) {
             out.push((peer, bye));
         }
+        self.note(
+            now,
+            ObsEvent::SessionClose {
+                peer: peer.0,
+                reason: "send_failure",
+            },
+        );
         self.pending_interests.remove(&peer);
         self.pending_dones.remove(&peer);
         self.browse_progress.remove(&peer);
@@ -618,6 +827,13 @@ impl Sos {
                 if let Some(bye) = self.adhoc.close(from, DisconnectReason::ProtocolError) {
                     out.push((from, bye));
                 }
+                self.note(
+                    now,
+                    ObsEvent::SessionClose {
+                        peer: from.0,
+                        reason: "protocol_error",
+                    },
+                );
                 self.events
                     .push_back(SosEvent::SessionClosed { peer: from });
                 return;
@@ -673,6 +889,13 @@ impl Sos {
                 if let Some(bye) = self.adhoc.close(from, DisconnectReason::Done) {
                     out.push((from, bye));
                 }
+                self.note(
+                    now,
+                    ObsEvent::SessionClose {
+                        peer: from.0,
+                        reason: "done",
+                    },
+                );
                 self.events
                     .push_back(SosEvent::SessionClosed { peer: from });
             }
@@ -691,7 +914,10 @@ impl Sos {
         now: SimTime,
         out: &mut Vec<(PeerId, Frame)>,
     ) {
-        self.stats.requests_served += 1;
+        let _span = sos_obs::profile::span("core/serve_request");
+        self.stats.requests_served.inc();
+        let sent_before = self.stats.bundles_sent.get();
+        let frames_before = self.stats.sync_frames_sent.get();
         let peer_user = self.adhoc.peer_user(from);
         let me = self.user_id();
         let summary = self.store.summary();
@@ -738,19 +964,19 @@ impl Sos {
                 let payload = SyncMsg::encode_single_bundle(&body);
                 match self.adhoc.send_payload(from, &payload) {
                     Ok(frame) => {
-                        self.stats.bundles_sent += 1;
-                        self.stats.sync_frames_sent += 1;
+                        self.stats.bundles_sent.inc();
+                        self.stats.sync_frames_sent.inc();
                         out.push((from, frame));
                     }
                     Err(_) => {
-                        self.close_broken_session(from, out);
+                        self.close_broken_session(from, now, out);
                         return;
                     }
                 }
                 continue;
             }
             if !batch.is_empty() && batch_bytes + body.len() > sos_net::SYNC_BATCH_BUDGET {
-                if !self.flush_batch(from, &mut batch, out) {
+                if !self.flush_batch(from, now, &mut batch, out) {
                     return;
                 }
                 batch_bytes = 0;
@@ -758,16 +984,24 @@ impl Sos {
             batch_bytes += body.len();
             batch.push(body);
         }
-        if !batch.is_empty() && !self.flush_batch(from, &mut batch, out) {
+        if !batch.is_empty() && !self.flush_batch(from, now, &mut batch, out) {
             return;
         }
         let done = SyncMsg::Done.encode().expect("Done always encodes");
         match self.adhoc.send_payload(from, &done) {
             Ok(frame) => {
-                self.stats.sync_frames_sent += 1;
+                self.stats.sync_frames_sent.inc();
                 out.push((from, frame));
+                self.note(
+                    now,
+                    ObsEvent::Served {
+                        peer: from.0,
+                        bundles: (self.stats.bundles_sent.get() - sent_before) as usize,
+                        frames: (self.stats.sync_frames_sent.get() - frames_before) as usize,
+                    },
+                );
             }
-            Err(_) => self.close_broken_session(from, out),
+            Err(_) => self.close_broken_session(from, now, out),
         }
     }
 
@@ -778,6 +1012,7 @@ impl Sos {
     fn flush_batch(
         &mut self,
         peer: PeerId,
+        now: SimTime,
         batch: &mut Vec<Vec<u8>>,
         out: &mut Vec<(PeerId, Frame)>,
     ) -> bool {
@@ -786,13 +1021,13 @@ impl Sos {
         batch.clear();
         match self.adhoc.send_payload(peer, &payload) {
             Ok(frame) => {
-                self.stats.bundles_sent += count;
-                self.stats.sync_frames_sent += 1;
+                self.stats.bundles_sent.add(count);
+                self.stats.sync_frames_sent.inc();
                 out.push((peer, frame));
                 true
             }
             Err(_) => {
-                self.close_broken_session(peer, out);
+                self.close_broken_session(peer, now, out);
                 false
             }
         }
@@ -811,11 +1046,13 @@ impl Sos {
     /// stored id cannot poison hop counts without passing the full
     /// verification itself.
     fn receive_bundle(&mut self, from: PeerId, mut bundle: Bundle, now: SimTime) {
-        self.stats.bundles_received += 1;
+        let _span = sos_obs::profile::span("core/receive_bundle");
+        self.stats.bundles_received.inc();
         let id = bundle.message.id;
         if let Some(held) = self.store.get(&id) {
             if bundle.content_matches(held) {
-                self.stats.bundles_duplicate += 1;
+                self.stats.bundles_duplicate.inc();
+                self.note(now, ObsEvent::BundleDuplicate { from: from.0 });
                 // Same signed bytes we already verified. A duplicate
                 // that arrived over a shorter path still improves what
                 // we know (and relay) about the message: keep the
@@ -829,7 +1066,7 @@ impl Sos {
             // duplicate may still touch the stored copy.
             let same_message = bundle.message == held.message;
             let validator = self.adhoc.identity().validator();
-            let detail = match bundle.verify(validator, now.as_secs()) {
+            let (detail, cause) = match bundle.verify(validator, now.as_secs()) {
                 Ok(()) if same_message => {
                     // The identical signed message wrapped in a
                     // *different but valid* certificate for the same
@@ -838,7 +1075,8 @@ impl Sos {
                     // lives longer — a copy stuck with the expiring
                     // certificate would be rejected as a forgery by
                     // every peer once it lapses.
-                    self.stats.bundles_duplicate += 1;
+                    self.stats.bundles_duplicate.inc();
+                    self.note(now, ObsEvent::BundleDuplicate { from: from.0 });
                     bundle.hops += 1;
                     if let Some(held) = self.store.get_mut(&id) {
                         held.hops = held.hops.min(bundle.hops);
@@ -851,10 +1089,13 @@ impl Sos {
                 // Validly signed divergent content is the *author*
                 // equivocating; the relay is an honest messenger and
                 // must not be penalized for it.
-                Ok(()) => format!(
-                    "author equivocation: two valid contents for message {}/{}",
-                    id.author.display(),
-                    id.number
+                Ok(()) => (
+                    format!(
+                        "author equivocation: two valid contents for message {}/{}",
+                        id.author.display(),
+                        id.number
+                    ),
+                    "equivocation",
                 ),
                 Err(rejection) => {
                     // A forgery: the delivering peer relayed tampered
@@ -862,17 +1103,33 @@ impl Sos {
                     if let Some(user) = self.adhoc.peer_user(from) {
                         self.scheme.on_security_incident(&user, now);
                     }
-                    rejection.to_string()
+                    (rejection.to_string(), "forged_duplicate")
                 }
             };
-            self.stats.security_rejections += 1;
+            self.stats.security_rejections.inc();
+            self.stats.security_alerts.inc();
+            self.note(
+                now,
+                ObsEvent::BundleReject {
+                    from: from.0,
+                    cause,
+                },
+            );
             self.events
                 .push_back(SosEvent::SecurityAlert { peer: from, detail });
             return;
         }
         let validator = self.adhoc.identity().validator();
         if let Err(rejection) = bundle.verify(validator, now.as_secs()) {
-            self.stats.security_rejections += 1;
+            self.stats.security_rejections.inc();
+            self.stats.security_alerts.inc();
+            self.note(
+                now,
+                ObsEvent::BundleReject {
+                    from: from.0,
+                    cause: "verify_failed",
+                },
+            );
             if let Some(user) = self.adhoc.peer_user(from) {
                 self.scheme.on_security_incident(&user, now);
             }
@@ -903,6 +1160,13 @@ impl Sos {
         if carried || interested {
             self.store.insert(bundle);
         }
+        self.note(
+            now,
+            ObsEvent::BundleAccept {
+                from: from.0,
+                carried: self.store.len(),
+            },
+        );
         self.events.push_back(event);
     }
 }

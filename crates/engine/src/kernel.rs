@@ -139,6 +139,7 @@ impl ContactSource for GridContactEngine {
     }
 
     fn contact_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent> {
+        let _span = sos_obs::profile::span("engine/contact_events");
         let n = self.trajectories.len();
         let mut events = Vec::new();
         if start > end {

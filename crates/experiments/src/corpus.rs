@@ -20,7 +20,8 @@
 //! Everything is a pure function of `(trace, config)`, so corpus runs
 //! are as reproducible as the recorded-tape replays.
 
-use crate::driver::{Driver, DriverConfig};
+use crate::driver::{Driver, DriverConfig, RunMetrics};
+use crate::observe::RunObserver;
 use alleyoop::app::AlleyOopApp;
 use alleyoop::cloud::Cloud;
 use rand::{Rng, SeedableRng};
@@ -29,7 +30,6 @@ use sos_net::PeerId;
 use sos_sim::{EncounterSource, SimDuration, SimTime};
 use sos_trace::{ContactTrace, TraceContactSource};
 use std::collections::BTreeSet;
-use std::fmt::Write as _;
 
 /// Corpus-study parameters (the trace supplies population and span).
 #[derive(Clone, Debug)]
@@ -111,6 +111,20 @@ pub fn followers_from_trace(trace: &ContactTrace) -> Vec<Vec<usize>> {
     followers
 }
 
+/// Everything a corpus run produced: the summary [`CorpusOutcome`],
+/// the raw per-run [`RunMetrics`], and the final apps for per-node
+/// inspection — the inputs [`report::run_report`](crate::report::run_report)
+/// renders.
+#[derive(Debug)]
+pub struct CorpusRun {
+    /// The summary row-level outcome.
+    pub outcome: CorpusOutcome,
+    /// Raw driver measurements (delays, frames, recorders).
+    pub metrics: RunMetrics,
+    /// The final applications, one per trace node.
+    pub apps: Vec<AlleyOopApp>,
+}
+
 /// Runs one routing scheme over an imported corpus via the replay
 /// driver.
 ///
@@ -119,6 +133,21 @@ pub fn followers_from_trace(trace: &ContactTrace) -> Vec<Vec<usize>> {
 /// Panics if the trace has fewer than 2 nodes — an imported corpus
 /// without encounters cannot host a field study.
 pub fn run_corpus_study(trace: &ContactTrace, config: &CorpusStudyConfig) -> CorpusOutcome {
+    run_corpus_study_full(trace, config, None).outcome
+}
+
+/// [`run_corpus_study`], keeping the raw metrics and final apps, and
+/// optionally attaching a [`RunObserver`] (whose registry/journal then
+/// capture the run without changing it).
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 nodes.
+pub fn run_corpus_study_full(
+    trace: &ContactTrace,
+    config: &CorpusStudyConfig,
+    obs: Option<&RunObserver>,
+) -> CorpusRun {
     let n = trace.node_count();
     assert!(n >= 2, "corpus study needs at least 2 nodes, got {n}");
 
@@ -182,12 +211,15 @@ pub fn run_corpus_study(trace: &ContactTrace, config: &CorpusStudyConfig) -> Cor
         seed: config.seed ^ 0xace,
     };
     let mut driver = Driver::new(apps, source, followers, driver_cfg, end);
+    if let Some(o) = obs {
+        driver.attach_observer(&o.registry, &o.journal);
+    }
     for (at, node) in posts {
         driver.schedule_post(at, node);
     }
     let (metrics, apps) = driver.run();
     let totals = crate::driver::aggregate_stats(&apps);
-    CorpusOutcome {
+    let outcome = CorpusOutcome {
         scheme: config.scheme,
         nodes: n,
         posts: metrics.posts,
@@ -195,6 +227,11 @@ pub fn run_corpus_study(trace: &ContactTrace, config: &CorpusStudyConfig) -> Cor
         interested_deliveries: metrics.delays.len(),
         frames_sent: metrics.frames_sent,
         security_alerts: metrics.security_alerts,
+    };
+    CorpusRun {
+        outcome,
+        metrics,
+        apps,
     }
 }
 
@@ -217,13 +254,11 @@ pub fn run_corpus_study_all_schemes(
         .collect()
 }
 
-/// A comparison table over per-scheme outcomes.
+/// A comparison table over per-scheme outcomes (rendered by
+/// [`report::corpus_scheme_table`](crate::report::corpus_scheme_table);
+/// kept here as the historical entry point).
 pub fn scheme_table(outcomes: &[CorpusOutcome]) -> String {
-    let mut out = String::new();
-    for o in outcomes {
-        let _ = writeln!(out, "{}", o.table_line());
-    }
-    out
+    crate::report::corpus_scheme_table(outcomes)
 }
 
 #[cfg(test)]

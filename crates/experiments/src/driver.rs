@@ -20,6 +20,8 @@ use rand::SeedableRng;
 use sos_core::message::MessageKind;
 use sos_core::middleware::{SosEvent, SosStats};
 use sos_net::{Frame, LinkModel, PeerId};
+use sos_obs::journal::ObsEvent;
+use sos_obs::{Histogram, JournalEntry, JournalHandle, NodeObs, Registry};
 use sos_sim::metrics::{DelayRecorder, DeliveryRecorder};
 use sos_sim::{EncounterSource, EventQueue, SimDuration, SimTime, World};
 use std::collections::BTreeMap;
@@ -87,7 +89,10 @@ impl Default for DriverConfig {
 }
 
 /// Everything measured during a run.
-#[derive(Debug, Default)]
+///
+/// `PartialEq` exists for the byte-identity gates: an instrumented
+/// replay must compare equal to an uninstrumented one.
+#[derive(Debug, Default, PartialEq)]
 pub struct RunMetrics {
     /// Unique messages posted.
     pub posts: u64,
@@ -131,6 +136,18 @@ pub struct Driver<C: EncounterSource = World> {
     config: DriverConfig,
     end: SimTime,
     metrics: RunMetrics,
+    obs: Option<DriverObs>,
+}
+
+/// The driver's own observability wiring (see [`Driver::attach_observer`]).
+#[derive(Clone, Debug)]
+struct DriverObs {
+    registry: Registry,
+    journal: JournalHandle,
+    /// Wire sizes of every transmitted frame.
+    frame_bytes: Histogram,
+    /// Delivery delays (interested subscribers only), milliseconds.
+    delay_ms: Histogram,
 }
 
 impl<C: EncounterSource> Driver<C> {
@@ -169,6 +186,43 @@ impl<C: EncounterSource> Driver<C> {
             config,
             end,
             metrics: RunMetrics::default(),
+            obs: None,
+        }
+    }
+
+    /// Attaches observability to the whole run: every node's middleware
+    /// gets a journal scope (events attributed by node index) and its
+    /// live stat cells registered as `node<i>/sos/...`, while the driver
+    /// itself journals contact transitions and feeds the
+    /// `driver/frame_bytes` and `driver/delivery_delay_ms` histograms.
+    /// Purely passive: an observed run is byte-identical to a blind one.
+    pub fn attach_observer(&mut self, registry: &Registry, journal: &JournalHandle) {
+        for (i, app) in self.apps.iter_mut().enumerate() {
+            let mw = app.middleware_mut();
+            mw.attach_obs(NodeObs::new(i as u32, journal.clone()));
+            mw.register_metrics(registry, &format!("node{i}/sos"));
+        }
+        self.obs = Some(DriverObs {
+            registry: registry.clone(),
+            journal: journal.clone(),
+            frame_bytes: registry.histogram("driver/frame_bytes"),
+            delay_ms: registry.histogram("driver/delivery_delay_ms"),
+        });
+    }
+
+    /// Journals a driver-level (contact) event.
+    fn note_contact(&self, now: SimTime, a: usize, b: usize, up: bool) {
+        if let Some(obs) = &self.obs {
+            let (a, b) = (a as u32, b as u32);
+            obs.journal.push(JournalEntry {
+                time: now,
+                node: a,
+                event: if up {
+                    ObsEvent::ContactUp { a, b }
+                } else {
+                    ObsEvent::ContactDown { a, b }
+                },
+            });
         }
     }
 
@@ -225,20 +279,51 @@ impl<C: EncounterSource> Driver<C> {
                 break;
             }
             match event {
-                Event::Advertise(node) => self.on_advertise(node, now),
-                Event::Deliver { src, dst, frame } => self.on_deliver(src, dst, frame, now),
-                Event::Post { node } => self.on_post(node, now),
+                Event::Advertise(node) => {
+                    let _span = sos_obs::profile::span("driver/advertise");
+                    self.on_advertise(node, now);
+                }
+                Event::Deliver { src, dst, frame } => {
+                    let _span = sos_obs::profile::span("driver/deliver");
+                    self.on_deliver(src, dst, frame, now);
+                }
+                Event::Post { node } => {
+                    let _span = sos_obs::profile::span("driver/post");
+                    self.on_post(node, now);
+                }
                 Event::ContactUp { a, b, distance_m } => {
+                    let _span = sos_obs::profile::span("driver/contact");
                     self.links.insert((a.min(b), a.max(b)), distance_m);
+                    self.note_contact(now, a, b, true);
                 }
                 Event::ContactDown { a, b } => {
+                    let _span = sos_obs::profile::span("driver/contact");
                     self.links.remove(&(a.min(b), a.max(b)));
+                    self.note_contact(now, a, b, false);
                     self.apps[a].middleware_mut().on_peer_lost(PeerId(b as u32));
                     self.apps[b].middleware_mut().on_peer_lost(PeerId(a as u32));
                 }
             }
         }
+        self.export_metrics();
         (self.metrics, self.apps)
+    }
+
+    /// Mirrors the final [`RunMetrics`] totals into the registry
+    /// (`driver/...` counters), so a registry snapshot is a complete
+    /// picture of the run without consulting the returned value.
+    fn export_metrics(&self) {
+        let Some(obs) = &self.obs else { return };
+        let r = &obs.registry;
+        r.counter("driver/posts").add(self.metrics.posts);
+        r.counter("driver/frames_sent")
+            .add(self.metrics.frames_sent);
+        r.counter("driver/frames_lost")
+            .add(self.metrics.frames_lost);
+        r.counter("driver/security_alerts")
+            .add(self.metrics.security_alerts);
+        r.counter("driver/deliveries")
+            .add(self.metrics.delays.len() as u64);
     }
 
     /// The peers currently connected to `node`, from the link table.
@@ -276,6 +361,9 @@ impl<C: EncounterSource> Driver<C> {
             return; // up-distance beyond every available bearer
         };
         self.metrics.frames_sent += 1;
+        if let Some(obs) = &self.obs {
+            obs.frame_bytes.record(frame.wire_size() as u64);
+        }
         if link.should_drop(&mut self.rng) {
             self.metrics.frames_lost += 1;
             return;
@@ -352,6 +440,9 @@ impl<C: EncounterSource> Driver<C> {
                     if interested {
                         self.metrics.delays.record(created_at, now, hops);
                         self.metrics.delivery.delivered(node, author_idx);
+                        if let Some(obs) = &self.obs {
+                            obs.delay_ms.record(now.since(created_at).as_millis());
+                        }
                     }
                 }
                 SosEvent::SecurityAlert { .. } => {
@@ -366,37 +457,16 @@ impl<C: EncounterSource> Driver<C> {
     /// via the returned apps; exposed here for mid-run inspection in
     /// tests).
     pub fn total_stats(&self) -> SosStats {
-        let mut total = SosStats::default();
-        for app in &self.apps {
-            let s = app.middleware().stats();
-            total.posts += s.posts;
-            total.bundles_sent += s.bundles_sent;
-            total.bundles_received += s.bundles_received;
-            total.bundles_duplicate += s.bundles_duplicate;
-            total.security_rejections += s.security_rejections;
-            total.sessions_initiated += s.sessions_initiated;
-            total.sessions_accepted += s.sessions_accepted;
-            total.requests_served += s.requests_served;
-            total.sync_frames_sent += s.sync_frames_sent;
-        }
-        total
+        aggregate_stats(&self.apps)
     }
 }
 
-/// Sums middleware stats over a slice of applications.
+/// Sums middleware stats over a slice of applications
+/// (via [`SosStats::merge`], so new counters are never dropped).
 pub fn aggregate_stats(apps: &[AlleyOopApp]) -> SosStats {
     let mut total = SosStats::default();
     for app in apps {
-        let s = app.middleware().stats();
-        total.posts += s.posts;
-        total.bundles_sent += s.bundles_sent;
-        total.bundles_received += s.bundles_received;
-        total.bundles_duplicate += s.bundles_duplicate;
-        total.security_rejections += s.security_rejections;
-        total.sessions_initiated += s.sessions_initiated;
-        total.sessions_accepted += s.sessions_accepted;
-        total.requests_served += s.requests_served;
-        total.sync_frames_sent += s.sync_frames_sent;
+        total.merge(&app.middleware().stats());
     }
     total
 }

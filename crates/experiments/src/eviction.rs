@@ -156,6 +156,24 @@ pub fn encounter<R: rand::RngCore>(
 
 /// Runs the scenario.
 pub fn run_eviction_study(config: &EvictionStudyConfig) -> EvictionOutcome {
+    run_eviction_study_inner(config, None)
+}
+
+/// [`run_eviction_study`] with a [`RunObserver`](crate::observe::RunObserver)
+/// attached: the three nodes' counters land in the observer's registry
+/// (as `node{0,1,2}/sos/…`) and every session/bundle/evict event lands
+/// in its journal — the flight-recorder example's entry point.
+pub fn run_eviction_study_observed(
+    config: &EvictionStudyConfig,
+    obs: &crate::observe::RunObserver,
+) -> EvictionOutcome {
+    run_eviction_study_inner(config, Some(obs))
+}
+
+fn run_eviction_study_inner(
+    config: &EvictionStudyConfig,
+    obs: Option<&crate::observe::RunObserver>,
+) -> EvictionOutcome {
     let mut ca = CertificateAuthority::new("Eviction Root", [42u8; 32], 0, u64::MAX);
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let mut author = Sos::new(
@@ -177,6 +195,15 @@ pub fn run_eviction_study(config: &EvictionStudyConfig) -> EvictionOutcome {
         identity(&mut ca, 30, "subscriber"),
         SchemeKind::Epidemic,
     );
+    if let Some(o) = obs {
+        for (i, node) in [&mut author, &mut relay, &mut subscriber]
+            .into_iter()
+            .enumerate()
+        {
+            node.attach_obs(sos_obs::NodeObs::new(i as u32, o.journal.clone()));
+            node.register_metrics(&o.registry, &format!("node{i}/sos"));
+        }
+    }
     let author_id = author.user_id();
     subscriber.subscribe(author_id);
 

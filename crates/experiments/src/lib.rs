@@ -22,6 +22,9 @@
 //!   (CRAWDAD / Reality-Mining / SASSY via `sos_trace::corpora`):
 //!   population, follow graph, and span derived from the trace itself
 //!   (extension)
+//! * [`observe`] — run-scoped observability: a metrics registry +
+//!   event journal + span profiler bundle ([`observe::RunObserver`])
+//!   that attaches to any run without changing its outcome
 //!
 //! Run `cargo run --release -p sos-experiments --bin repro -- all` to
 //! print every reproduced figure.
@@ -34,12 +37,15 @@ pub mod corpus;
 pub mod density;
 pub mod driver;
 pub mod eviction;
+pub mod observe;
 pub mod replay;
 pub mod report;
 pub mod scenario;
 pub mod social;
 pub mod sweep;
 
+pub use observe::{RunObservation, RunObserver};
 pub use scenario::{
-    run_field_study, run_field_study_on, run_field_study_with, FieldStudyConfig, FieldStudyOutcome,
+    run_field_study, run_field_study_observed, run_field_study_on, run_field_study_with,
+    run_field_study_with_observed, FieldStudyConfig, FieldStudyOutcome,
 };

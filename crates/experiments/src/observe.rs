@@ -1,0 +1,161 @@
+//! Run-scoped observability wiring: one [`RunObserver`] per experiment
+//! run bundles the metrics [`Registry`], the shared event journal, and
+//! (optionally) the span profiler, and [`RunObserver::finish`] freezes
+//! all three into a [`RunObservation`] the report layer renders.
+//!
+//! Observation is strictly passive: attaching an observer to a driver
+//! or middleware never draws randomness, reorders events, or changes
+//! any decision — the record→replay byte-identity tests run with and
+//! without instrumentation and must agree (see `tests/obs_determinism`
+//! at the workspace root).
+
+use sos_obs::{profile, Journal, JournalHandle, MetricsSnapshot, Profile, Registry};
+
+/// The observability context of one run: hand `registry` + `journal`
+/// to [`Driver::attach_observer`](crate::driver::Driver::attach_observer)
+/// (done for you by the `*_observed` entry points), then [`finish`]
+/// after the run.
+///
+/// [`finish`]: RunObserver::finish
+#[derive(Clone, Debug)]
+pub struct RunObserver {
+    /// The metrics registry every node's stat cells are adopted into.
+    pub registry: Registry,
+    /// The shared journal every node's scope feeds.
+    pub journal: JournalHandle,
+    profiling: bool,
+}
+
+impl Default for RunObserver {
+    fn default() -> Self {
+        RunObserver::new()
+    }
+}
+
+impl RunObserver {
+    /// A fresh observer with the default journal capacity and no
+    /// profiling.
+    pub fn new() -> RunObserver {
+        RunObserver {
+            registry: Registry::new(),
+            journal: JournalHandle::new(),
+            profiling: false,
+        }
+    }
+
+    /// A fresh observer that also turns the (process-global) span
+    /// profiler on; [`finish`](RunObserver::finish) turns it back off
+    /// and drains this thread's profile.
+    pub fn with_profiling() -> RunObserver {
+        profile::set_enabled(true);
+        RunObserver {
+            profiling: true,
+            ..RunObserver::new()
+        }
+    }
+
+    /// A fresh observer whose journal retains at most `capacity`
+    /// entries (oldest dropped first).
+    pub fn with_journal_capacity(capacity: usize) -> RunObserver {
+        RunObserver {
+            journal: JournalHandle::with_capacity(capacity),
+            ..RunObserver::new()
+        }
+    }
+
+    /// Freezes the run's observability state: registry snapshot,
+    /// journal copy, and — when profiling was requested — the current
+    /// thread's aggregated span profile.
+    pub fn finish(&self) -> RunObservation {
+        let profile = if self.profiling {
+            profile::set_enabled(false);
+            profile::take()
+        } else {
+            Profile::default()
+        };
+        RunObservation {
+            metrics: self.registry.snapshot(),
+            journal: self.journal.snapshot(),
+            profile,
+        }
+    }
+}
+
+/// Everything a finished run's observability captured.
+#[derive(Clone, Debug)]
+pub struct RunObservation {
+    /// Every registered counter/gauge/histogram at end of run.
+    pub metrics: MetricsSnapshot,
+    /// The retained event journal.
+    pub journal: Journal,
+    /// The aggregated span profile (empty unless profiling was on).
+    pub profile: Profile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_field_study, run_field_study_observed, small_test_config};
+    use sos_core::routing::SchemeKind;
+    use sos_obs::journal::ObsEvent;
+
+    #[test]
+    fn observed_run_matches_blind_run_and_captures_events() {
+        let cfg = small_test_config(11, SchemeKind::InterestBased);
+        let blind = run_field_study(&cfg);
+        let observer = RunObserver::new();
+        let observed = run_field_study_observed(&cfg, &observer);
+        let observation = observer.finish();
+
+        // Observation is passive: the run itself is byte-identical.
+        assert_eq!(blind.metrics, observed.metrics);
+        assert_eq!(blind.totals, observed.totals);
+
+        // The journal saw the sessions and transfers the stats count.
+        let journal = &observation.journal;
+        assert!(!journal.is_empty());
+        let opens = journal
+            .entries()
+            .filter(|e| matches!(e.event, ObsEvent::SessionOpen { .. }))
+            .count() as u64;
+        assert_eq!(
+            opens,
+            observed.totals.sessions_initiated + observed.totals.sessions_accepted
+        );
+        let accepts = journal
+            .entries()
+            .filter(|e| matches!(e.event, ObsEvent::BundleAccept { .. }))
+            .count() as u64;
+        assert_eq!(
+            accepts,
+            observed.totals.bundles_received
+                - observed.totals.bundles_duplicate
+                - observed.totals.security_rejections
+        );
+
+        // The registry's adopted cells agree with the aggregate stats.
+        let posts: u64 = observation
+            .metrics
+            .counters
+            .iter()
+            .filter(|(k, _)| k.ends_with("/posts") && k.starts_with("node"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(posts, observed.totals.posts);
+        assert_eq!(
+            observation.metrics.counters["driver/frames_sent"],
+            observed.metrics.frames_sent
+        );
+        // The journal itself is deterministic: a second observed run
+        // produces byte-identical JSONL. (Timestamps need not be
+        // globally monotone — a peer-lost close is stamped with the
+        // middleware's last-seen time, which can precede the driver's
+        // contact-down tick — but the order and content are fixed.)
+        let observer2 = RunObserver::new();
+        let _ = run_field_study_observed(&cfg, &observer2);
+        assert_eq!(
+            observation.journal.to_jsonl(),
+            observer2.finish().journal.to_jsonl()
+        );
+    }
+}

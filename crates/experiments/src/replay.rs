@@ -10,8 +10,10 @@
 //! see precisely the same opportunities, the way Fig. 4's comparisons
 //! assume.
 
+use crate::observe::RunObserver;
 use crate::scenario::{
-    field_study_world, run_field_study, run_field_study_with, FieldStudyConfig, FieldStudyOutcome,
+    field_study_world, run_field_study, run_field_study_with, run_field_study_with_observed,
+    FieldStudyConfig, FieldStudyOutcome,
 };
 use sos_core::message::MessageId;
 use sos_sim::SimTime;
@@ -38,6 +40,17 @@ pub fn record_field_study(config: &FieldStudyConfig) -> (FieldStudyOutcome, Cont
 /// post workload, same driver — only the encounter source differs.
 pub fn replay_field_study(config: &FieldStudyConfig, trace: &ContactTrace) -> FieldStudyOutcome {
     run_field_study_with(config, TraceContactSource::new(trace.clone()))
+}
+
+/// [`replay_field_study`] with an observer attached — instrumentation
+/// is passive, so the outcome stays byte-identical to the unobserved
+/// replay (asserted by `tests/obs_determinism` at the workspace root).
+pub fn replay_field_study_observed(
+    config: &FieldStudyConfig,
+    trace: &ContactTrace,
+    obs: &RunObserver,
+) -> FieldStudyOutcome {
+    run_field_study_with_observed(config, TraceContactSource::new(trace.clone()), obs)
 }
 
 /// The delivered set of a run: every `(node, message)` pair present in

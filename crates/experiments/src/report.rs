@@ -1,8 +1,12 @@
 //! Report formatting: regenerates each figure's data series and prints
 //! paper-vs-measured comparisons.
 
-use crate::driver::MapEventKind;
+use crate::corpus::CorpusOutcome;
+use crate::driver::{aggregate_stats, MapEventKind, RunMetrics};
+use crate::observe::RunObservation;
 use crate::scenario::FieldStudyOutcome;
+use alleyoop::app::AlleyOopApp;
+use sos_obs::Journal;
 use sos_sim::metrics::Cdf;
 
 /// Paper-published values for §VI, used in the comparison tables.
@@ -252,9 +256,161 @@ pub fn text_metrics(outcome: &FieldStudyOutcome) -> String {
     ));
     out.push_str(&format!(
         "security rejections            0*       {}\n",
+        outcome.totals.security_rejections
+    ));
+    out.push_str(&format!(
+        "security alerts                0*       {}\n",
         m.security_alerts
     ));
     out.push_str("(* the paper reports no security incidents in the study)\n");
+    out
+}
+
+/// The per-scheme comparison table over corpus outcomes — the single
+/// renderer behind `corpus::scheme_table` and the import example.
+pub fn corpus_scheme_table(outcomes: &[CorpusOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&o.table_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-node middleware counters, one row per app — the per-scheme ×
+/// per-node view of a run.
+pub fn per_node_table(apps: &[AlleyOopApp]) -> String {
+    let mut out = String::new();
+    out.push_str("node   posts   sent   recv    dup    rej  alert  s_ini  s_acc  served frames\n");
+    for (i, app) in apps.iter().enumerate() {
+        let s = app.middleware().stats();
+        out.push_str(&format!(
+            "{i:<5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6}\n",
+            s.posts,
+            s.bundles_sent,
+            s.bundles_received,
+            s.bundles_duplicate,
+            s.security_rejections,
+            s.security_alerts,
+            s.sessions_initiated,
+            s.sessions_accepted,
+            s.requests_served,
+            s.sync_frames_sent,
+        ));
+    }
+    let mut total = sos_core::middleware::SosStats::default();
+    for app in apps {
+        total.merge(&app.middleware().stats());
+    }
+    out.push_str(&format!(
+        "total {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6}\n",
+        total.posts,
+        total.bundles_sent,
+        total.bundles_received,
+        total.bundles_duplicate,
+        total.security_rejections,
+        total.security_alerts,
+        total.sessions_initiated,
+        total.sessions_accepted,
+        total.requests_served,
+        total.sync_frames_sent,
+    ));
+    out
+}
+
+/// Why things were dropped or closed, read off the event journal:
+/// bundle-reject causes, session-close reasons, store evictions.
+pub fn drop_cause_breakdown(journal: &Journal) -> String {
+    let mut out = String::new();
+    out.push_str("bundle-reject causes:\n");
+    let rejects = journal.reject_causes();
+    if rejects.is_empty() {
+        out.push_str("    (none)\n");
+    }
+    for (cause, n) in rejects {
+        out.push_str(&format!("    {cause:<18} {n}\n"));
+    }
+    out.push_str("session-close reasons:\n");
+    let closes = journal.close_reasons();
+    if closes.is_empty() {
+        out.push_str("    (none)\n");
+    }
+    for (reason, n) in closes {
+        out.push_str(&format!("    {reason:<18} {n}\n"));
+    }
+    out.push_str(&format!(
+        "store evictions: {} bundle(s)\n",
+        journal.evicted_total()
+    ));
+    out
+}
+
+/// The complete RUN-REPORT for one observed run: aggregate counters,
+/// per-node table, drop causes, delay quantiles, journal summary, and
+/// — when profiling was on — the self-profile table.
+pub fn run_report(
+    title: &str,
+    metrics: &RunMetrics,
+    apps: &[AlleyOopApp],
+    observation: &RunObservation,
+) -> String {
+    let totals = aggregate_stats(apps);
+    let all = metrics.delays.cdf_all_hours();
+    let journal = &observation.journal;
+    let mut out = String::new();
+    out.push_str(&format!("=== RUN-REPORT {title} ===\n"));
+    out.push_str(&format!(
+        "posts {}  frames {} sent / {} lost  alerts {}  rejections {}  deliveries {}\n\n",
+        metrics.posts,
+        metrics.frames_sent,
+        metrics.frames_lost,
+        metrics.security_alerts,
+        totals.security_rejections,
+        metrics.delays.len(),
+    ));
+    out.push_str("per-node middleware counters:\n");
+    out.push_str(&per_node_table(apps));
+    out.push('\n');
+    out.push_str(&drop_cause_breakdown(journal));
+    out.push('\n');
+    out.push_str(&format!(
+        "delay quantiles, h (All):   {}\n",
+        delay_quantiles_line(&all)
+    ));
+    out.push_str(&format!(
+        "delay quantiles, h (1-hop): {}\n\n",
+        delay_quantiles_line(&metrics.delays.cdf_one_hop_hours())
+    ));
+    out.push_str(&format!(
+        "journal: {} entrie(s) retained, {} dropped\n",
+        journal.len(),
+        journal.dropped()
+    ));
+    for (kind, n) in journal.counts_by_kind() {
+        out.push_str(&format!("    {kind:<18} {n}\n"));
+    }
+    let histograms = &observation.metrics.histograms;
+    if !histograms.is_empty() {
+        out.push_str("\nregistry histograms:\n");
+        for (name, snap) in histograms {
+            let fmt = |q: Option<u64>| q.map_or("-".to_string(), |v| v.to_string());
+            out.push_str(&format!(
+                "    {name:<26} n={:<7} mean={:<9.1} p50<={:<7} p90<={:<7} p99<={:<7} max={}\n",
+                snap.count,
+                snap.mean().unwrap_or(0.0),
+                fmt(snap.p50),
+                fmt(snap.p90),
+                fmt(snap.p99),
+                snap.max,
+            ));
+        }
+    }
+    out.push_str("\nself-profile:\n");
+    if observation.profile.is_empty() {
+        out.push_str("    (profiling disabled)\n");
+    } else {
+        out.push_str(&observation.profile.table());
+    }
     out
 }
 

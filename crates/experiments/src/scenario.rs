@@ -3,6 +3,7 @@
 //! routing, and the reconstructed Fig. 4a social graph.
 
 use crate::driver::{Driver, DriverConfig, RunMetrics};
+use crate::observe::RunObserver;
 use crate::social;
 use alleyoop::app::AlleyOopApp;
 use alleyoop::cloud::Cloud;
@@ -210,7 +211,7 @@ where
         RadioTech::max_range_m(config.infra_available),
         config.contact_tick,
     );
-    drive_field_study(config, apps, source)
+    drive_field_study(config, apps, source, None)
 }
 
 /// Runs the complete field study on an arbitrary [`EncounterSource`] —
@@ -230,15 +231,46 @@ where
     // matches the apps a geometric run builds alongside its mobility.
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let apps = build_apps(config, &mut rng);
-    drive_field_study(config, apps, source)
+    drive_field_study(config, apps, source, None)
+}
+
+/// [`run_field_study`] with an observer attached: every node's stat
+/// cells are adopted into `obs.registry`, lifecycle events flow into
+/// `obs.journal`, and the run itself is byte-identical to the
+/// unobserved one.
+pub fn run_field_study_observed(config: &FieldStudyConfig, obs: &RunObserver) -> FieldStudyOutcome {
+    let (apps, trajectories) = build_apps_and_trajectories(config);
+    let source = World::new(
+        trajectories,
+        RadioTech::max_range_m(config.infra_available),
+        config.contact_tick,
+    );
+    drive_field_study(config, apps, source, Some(obs))
+}
+
+/// [`run_field_study_with`] with an observer attached — the observed
+/// entry point for trace replay.
+pub fn run_field_study_with_observed<S>(
+    config: &FieldStudyConfig,
+    source: S,
+    obs: &RunObserver,
+) -> FieldStudyOutcome
+where
+    S: EncounterSource,
+{
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let apps = build_apps(config, &mut rng);
+    drive_field_study(config, apps, source, Some(obs))
 }
 
 /// The shared back half of every entry point: wire subscriptions,
-/// schedule the post workload, and run the driver over `source`.
+/// schedule the post workload, and run the driver over `source`,
+/// optionally with an observer attached.
 fn drive_field_study<S>(
     config: &FieldStudyConfig,
     apps: Vec<AlleyOopApp>,
     source: S,
+    obs: Option<&RunObserver>,
 ) -> FieldStudyOutcome
 where
     S: EncounterSource,
@@ -257,6 +289,9 @@ where
         seed: config.seed ^ 0xace,
     };
     let mut driver = Driver::new(apps, world, followers, driver_cfg, end);
+    if let Some(o) = obs {
+        driver.attach_observer(&o.registry, &o.journal);
+    }
     let mut post_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0xbeef);
     let mut schedule_times = post_schedule(config, &mut post_rng);
     // Shuffle ties deterministically so same-time posts do not always

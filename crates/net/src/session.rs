@@ -86,6 +86,7 @@ impl SessionEndpoint {
         if self.state != SessionState::Idle {
             return Err(NetError::UnexpectedHandshake);
         }
+        let _span = sos_obs::profile::span("net/handshake");
         let init = Initiator::start(identity, rng);
         let frame = Frame::HandshakeInit(init.message().clone());
         self.initiator = Some(init);
@@ -115,6 +116,7 @@ impl SessionEndpoint {
                 if self.state != SessionState::Idle {
                     return Err(NetError::UnexpectedHandshake);
                 }
+                let _span = sos_obs::profile::span("net/handshake");
                 match Responder::respond(identity, &init, now_secs, rng) {
                     Ok((response, crypto, peer_cert)) => {
                         self.crypto = Some(crypto);
@@ -132,6 +134,7 @@ impl SessionEndpoint {
                 if self.state != SessionState::Connecting {
                     return Err(NetError::UnexpectedHandshake);
                 }
+                let _span = sos_obs::profile::span("net/handshake");
                 let init = self.initiator.take().expect("connecting implies initiator");
                 match init.finish(identity, &resp, now_secs) {
                     Ok((crypto, peer_cert)) => {
@@ -147,6 +150,7 @@ impl SessionEndpoint {
                 }
             }
             Frame::Data { seq, ciphertext } => {
+                let _span = sos_obs::profile::span("net/payload_open");
                 let crypto = self.crypto.as_mut().ok_or(NetError::NotConnected)?;
                 match crypto.open(seq, b"", &ciphertext) {
                     Ok(payload) => Ok(SessionEvent::Payload(payload)),
@@ -179,6 +183,7 @@ impl SessionEndpoint {
         if self.state != SessionState::Connected {
             return Err(NetError::NotConnected);
         }
+        let _span = sos_obs::profile::span("net/payload_seal");
         let crypto = self.crypto.as_mut().ok_or(NetError::NotConnected)?;
         let (seq, ciphertext) = crypto.seal(b"", payload);
         Ok(Frame::Data { seq, ciphertext })

@@ -1,0 +1,440 @@
+//! The structured event journal: a bounded ring buffer of
+//! sim-time-stamped [`ObsEvent`]s — the per-run "flight recorder".
+//!
+//! Every entry carries the node that emitted it and the [`SimTime`] at
+//! which it happened, so journal contents are fully deterministic:
+//! replaying a recorded run with observers attached produces the same
+//! entries in the same order. When the buffer fills, the *oldest*
+//! entries are dropped (and counted), keeping the tail of the run —
+//! the part post-mortems care about.
+
+use sos_sim::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Default journal capacity (entries) when none is given.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One structured observability event.
+///
+/// Variants mirror the decision points of the middleware and driver:
+/// session lifecycle, the `receive_bundle` accept/duplicate/reject
+/// outcome (with cause), store eviction, the sync protocol's want/serve
+/// exchange, and contact up/down edges from the mobility layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A secure session reached the established state.
+    SessionOpen {
+        /// Peer node id.
+        peer: u32,
+        /// `true` when this node initiated the handshake.
+        initiated: bool,
+    },
+    /// A session ended.
+    SessionClose {
+        /// Peer node id.
+        peer: u32,
+        /// Why it closed (`"done"`, `"out_of_range"`,
+        /// `"protocol_error"`, `"security_failure"`, `"send_failure"`).
+        reason: &'static str,
+    },
+    /// A received bundle was verified and stored.
+    BundleAccept {
+        /// Sending peer.
+        from: u32,
+        /// Bundles now carried after the accept.
+        carried: usize,
+    },
+    /// A received bundle was already carried (benign duplicate).
+    BundleDuplicate {
+        /// Sending peer.
+        from: u32,
+    },
+    /// A received bundle was rejected.
+    BundleReject {
+        /// Sending peer.
+        from: u32,
+        /// Why (`"forged_duplicate"`, `"equivocation"`,
+        /// `"verify_failed"`).
+        cause: &'static str,
+    },
+    /// The store evicted bundles (TTL expiry or capacity pressure).
+    StoreEvict {
+        /// How many bundles were evicted in this sweep.
+        count: usize,
+    },
+    /// A want (sync request) was sent to a peer.
+    WantSent {
+        /// Peer node id.
+        peer: u32,
+        /// Authors covered by the want.
+        authors: usize,
+        /// Sequence-range chunks requested.
+        chunks: usize,
+    },
+    /// A peer's want was served.
+    Served {
+        /// Peer node id.
+        peer: u32,
+        /// Bundles shipped.
+        bundles: usize,
+        /// Sync frames used.
+        frames: usize,
+    },
+    /// A contact (radio-range edge) came up between two nodes.
+    ContactUp {
+        /// First node id.
+        a: u32,
+        /// Second node id.
+        b: u32,
+    },
+    /// A contact went down.
+    ContactDown {
+        /// First node id.
+        a: u32,
+        /// Second node id.
+        b: u32,
+    },
+}
+
+impl ObsEvent {
+    /// A short stable kind tag (used for JSONL and aggregation).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::SessionOpen { .. } => "session_open",
+            ObsEvent::SessionClose { .. } => "session_close",
+            ObsEvent::BundleAccept { .. } => "bundle_accept",
+            ObsEvent::BundleDuplicate { .. } => "bundle_duplicate",
+            ObsEvent::BundleReject { .. } => "bundle_reject",
+            ObsEvent::StoreEvict { .. } => "store_evict",
+            ObsEvent::WantSent { .. } => "want_sent",
+            ObsEvent::Served { .. } => "served",
+            ObsEvent::ContactUp { .. } => "contact_up",
+            ObsEvent::ContactDown { .. } => "contact_down",
+        }
+    }
+
+    fn fields_jsonl(&self, out: &mut String) {
+        match self {
+            ObsEvent::SessionOpen { peer, initiated } => {
+                let _ = write!(out, r#","peer":{peer},"initiated":{initiated}"#);
+            }
+            ObsEvent::SessionClose { peer, reason } => {
+                let _ = write!(out, r#","peer":{peer},"reason":"{reason}""#);
+            }
+            ObsEvent::BundleAccept { from, carried } => {
+                let _ = write!(out, r#","from":{from},"carried":{carried}"#);
+            }
+            ObsEvent::BundleDuplicate { from } => {
+                let _ = write!(out, r#","from":{from}"#);
+            }
+            ObsEvent::BundleReject { from, cause } => {
+                let _ = write!(out, r#","from":{from},"cause":"{cause}""#);
+            }
+            ObsEvent::StoreEvict { count } => {
+                let _ = write!(out, r#","count":{count}"#);
+            }
+            ObsEvent::WantSent {
+                peer,
+                authors,
+                chunks,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","peer":{peer},"authors":{authors},"chunks":{chunks}"#
+                );
+            }
+            ObsEvent::Served {
+                peer,
+                bundles,
+                frames,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","peer":{peer},"bundles":{bundles},"frames":{frames}"#
+                );
+            }
+            ObsEvent::ContactUp { a, b } | ObsEvent::ContactDown { a, b } => {
+                let _ = write!(out, r#","a":{a},"b":{b}"#);
+            }
+        }
+    }
+}
+
+/// One journal entry: when, who, what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Sim time the event happened.
+    pub time: SimTime,
+    /// Node that emitted it.
+    pub node: u32,
+    /// The event itself.
+    pub event: ObsEvent,
+}
+
+impl JournalEntry {
+    /// Renders the entry as one JSONL line (no trailing newline).
+    ///
+    /// All field values are numbers, booleans, or `&'static str` tags
+    /// from a fixed vocabulary, so no escaping is required.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            r#"{{"t_ms":{},"node":{},"event":"{}""#,
+            self.time.as_millis(),
+            self.node,
+            self.event.kind()
+        );
+        self.event.fields_jsonl(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// The bounded event journal.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    entries: VecDeque<JournalEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// Creates a journal holding at most `capacity` entries (oldest are
+    /// dropped first once full).
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when at capacity.
+    pub fn push(&mut self, entry: JournalEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &JournalEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to capacity pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders every retained entry as JSONL (one entry per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 96);
+        for e in &self.entries {
+            out.push_str(&e.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Retained entry counts per event kind, sorted by kind.
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            *map.entry(e.event.kind()).or_insert(0u64) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Bundle-reject counts per cause, sorted by cause.
+    pub fn reject_causes(&self) -> Vec<(&'static str, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            if let ObsEvent::BundleReject { cause, .. } = e.event {
+                *map.entry(cause).or_insert(0u64) += 1;
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Session-close counts per reason, sorted by reason.
+    pub fn close_reasons(&self) -> Vec<(&'static str, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            if let ObsEvent::SessionClose { reason, .. } = e.event {
+                *map.entry(reason).or_insert(0u64) += 1;
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Total bundles evicted across all retained [`ObsEvent::StoreEvict`]
+    /// entries.
+    pub fn evicted_total(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.event {
+                ObsEvent::StoreEvict { count } => Some(count as u64),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// A shared handle onto one [`Journal`]: every node of a run pushes
+/// into the same buffer, preserving the global event order the event
+/// loop produced.
+///
+/// The mutex is uncontended in the (single-threaded) event loops; it
+/// exists so the handle is `Send + Sync`, which `experiments::sweep`'s
+/// scoped threads require.
+#[derive(Clone, Debug, Default)]
+pub struct JournalHandle(Arc<Mutex<Journal>>);
+
+impl JournalHandle {
+    /// Creates a handle onto a fresh journal with the default capacity.
+    pub fn new() -> JournalHandle {
+        JournalHandle::default()
+    }
+
+    /// Creates a handle onto a fresh journal holding `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> JournalHandle {
+        JournalHandle(Arc::new(Mutex::new(Journal::with_capacity(capacity))))
+    }
+
+    /// Appends an entry.
+    pub fn push(&self, entry: JournalEntry) {
+        self.0.lock().expect("journal lock").push(entry);
+    }
+
+    /// An owned copy of the journal's current contents.
+    pub fn snapshot(&self) -> Journal {
+        self.0.lock().expect("journal lock").clone()
+    }
+}
+
+/// A per-node recording scope: a [`JournalHandle`] bound to one node
+/// id, handed to that node's middleware so its events carry the right
+/// attribution without the middleware knowing about driver topology.
+#[derive(Clone, Debug)]
+pub struct NodeObs {
+    /// The node id stamped onto every event this scope records.
+    pub node: u32,
+    journal: JournalHandle,
+}
+
+impl NodeObs {
+    /// Binds `journal` to `node`.
+    pub fn new(node: u32, journal: JournalHandle) -> NodeObs {
+        NodeObs { node, journal }
+    }
+
+    /// Records `event` at `time`, attributed to this scope's node.
+    #[inline]
+    pub fn record(&self, time: SimTime, event: ObsEvent) {
+        self.journal.push(JournalEntry {
+            time,
+            node: self.node,
+            event,
+        });
+    }
+
+    /// The shared journal this scope feeds.
+    pub fn journal(&self) -> &JournalHandle {
+        &self.journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut j = Journal::with_capacity(2);
+        for i in 0..4u32 {
+            j.push(JournalEntry {
+                time: t(i as u64),
+                node: i,
+                event: ObsEvent::ContactUp { a: i, b: i + 1 },
+            });
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.entries().next().unwrap().node, 2);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let e = JournalEntry {
+            time: t(1500),
+            node: 3,
+            event: ObsEvent::BundleReject {
+                from: 9,
+                cause: "equivocation",
+            },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            r#"{"t_ms":1500,"node":3,"event":"bundle_reject","from":9,"cause":"equivocation"}"#
+        );
+    }
+
+    #[test]
+    fn aggregations() {
+        let handle = JournalHandle::new();
+        let obs = NodeObs::new(1, handle.clone());
+        obs.record(
+            t(0),
+            ObsEvent::BundleReject {
+                from: 2,
+                cause: "verify_failed",
+            },
+        );
+        obs.record(
+            t(1),
+            ObsEvent::BundleReject {
+                from: 2,
+                cause: "verify_failed",
+            },
+        );
+        obs.record(t(2), ObsEvent::StoreEvict { count: 5 });
+        obs.record(
+            t(3),
+            ObsEvent::SessionClose {
+                peer: 2,
+                reason: "done",
+            },
+        );
+        let j = handle.snapshot();
+        assert_eq!(j.reject_causes(), vec![("verify_failed", 2)]);
+        assert_eq!(j.close_reasons(), vec![("done", 1)]);
+        assert_eq!(j.evicted_total(), 5);
+        assert_eq!(j.counts_by_kind().len(), 3);
+        assert_eq!(j.to_jsonl().lines().count(), 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests pinning the histogram's accuracy contract: every
+//! reported quantile lands in the same log₂ bucket as the exact
+//! nearest-rank order statistic of the raw samples, merging is
+//! associative up to snapshots, and the empty/single-sample edges
+//! behave.
+
+use proptest::prelude::*;
+use sos_obs::Histogram;
+
+/// Exact nearest-rank quantile over raw samples (the naive oracle).
+fn oracle_quantile(samples: &[u64], q: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Sample streams spanning the full bucket range: small dense values,
+/// mid-range, and enormous outliers. (The vendored proptest stand-in
+/// has no `prop_oneof`, so a selector byte picks the regime.)
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((any::<u8>(), any::<u64>()), 1..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sel, v)| match sel % 3 {
+                0 => v % 16,
+                1 => v % 10_000,
+                _ => v,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The histogram's quantile is the upper bound of the bucket the
+    /// exact order statistic falls into — never a different bucket.
+    #[test]
+    fn quantile_within_one_bucket_of_oracle(
+        samples in arb_samples(),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&samples);
+        let got = h.quantile(q).expect("non-empty");
+        let exact = oracle_quantile(&samples, q).expect("non-empty");
+        prop_assert_eq!(
+            Histogram::bucket_of(got),
+            Histogram::bucket_of(exact),
+            "q={} got={} exact={}", q, got, exact
+        );
+        // And the reported value is that bucket's upper bound, so it
+        // never under-reports the exact statistic.
+        prop_assert!(got >= exact);
+    }
+
+    /// (a ∪ b) ∪ c and a ∪ (b ∪ c) produce identical snapshots, and
+    /// both match recording the concatenated stream directly.
+    #[test]
+    fn merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let left = histogram_of(&a);
+        left.merge_from(&histogram_of(&b));
+        left.merge_from(&histogram_of(&c));
+
+        let bc = histogram_of(&b);
+        bc.merge_from(&histogram_of(&c));
+        let right = histogram_of(&a);
+        right.merge_from(&bc);
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = histogram_of(&all);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.snapshot(), direct.snapshot());
+    }
+
+    /// One sample: every quantile resolves to that sample's bucket,
+    /// and the snapshot carries it exactly in max/sum.
+    #[test]
+    fn single_value_quantiles(v in any::<u64>(), q in 0.0f64..=1.0) {
+        let h = histogram_of(&[v]);
+        prop_assert_eq!(h.quantile(q), Some(Histogram::bucket_upper(Histogram::bucket_of(v))));
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, 1);
+        prop_assert_eq!(snap.max, v);
+        prop_assert_eq!(snap.sum, v);
+        prop_assert_eq!(snap.buckets.len(), 1);
+    }
+}
+
+#[test]
+fn empty_histogram_edges() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), None);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.buckets, Vec::new());
+    assert_eq!(snap.p50, None);
+    assert_eq!(snap.mean(), None);
+
+    // Merging an empty histogram is the identity.
+    let a = Histogram::new();
+    a.record(7);
+    let before = a.snapshot();
+    a.merge_from(&h);
+    assert_eq!(a.snapshot(), before);
+}

@@ -108,7 +108,7 @@ impl DeliveryRecord {
 
 /// Records delays for Fig. 4c: CDFs of delivery delay for "1-hop" copies
 /// and for "All" copies.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct DelayRecorder {
     records: Vec<DeliveryRecord>,
 }
@@ -179,7 +179,7 @@ impl DelayRecorder {
 ///
 /// A subscription is a directed follow edge; its delivery ratio is the
 /// fraction of the followee's messages that reached the follower.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeliveryRecorder {
     /// (follower, followee) → (delivered, expected)
     counts: HashMap<(usize, usize), (u64, u64)>,

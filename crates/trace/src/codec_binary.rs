@@ -80,6 +80,7 @@ fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, TraceError> {
 
 /// Serializes a trace to the compact binary format.
 pub fn to_binary(trace: &ContactTrace) -> Vec<u8> {
+    let _span = sos_obs::profile::span("trace/binary_encode");
     let mut out = Vec::with_capacity(32 + trace.len() * 14);
     out.extend_from_slice(MAGIC);
     let mut flags = 0u8;
@@ -116,6 +117,7 @@ pub fn to_binary(trace: &ContactTrace) -> Vec<u8> {
 
 /// Parses the compact binary format.
 pub fn from_binary(buf: &[u8]) -> Result<ContactTrace, TraceError> {
+    let _span = sos_obs::profile::span("trace/binary_decode");
     if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err(TraceError::BadMagic);
     }

@@ -79,6 +79,7 @@ fn map_timeline_error(err: TraceError, event_lines: &[usize]) -> TraceError {
 
 /// Serializes a trace to the canonical text format.
 pub fn to_text(trace: &ContactTrace) -> String {
+    let _span = sos_obs::profile::span("trace/text_encode");
     let mut out = String::with_capacity(64 + trace.len() * 32);
     out.push_str("# sos-trace v1\n");
     let _ = writeln!(out, "# nodes {}", trace.node_count());
@@ -142,6 +143,7 @@ fn parse_num<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Resu
 
 /// Parses the canonical text format (and ONE-style `CONN` lines).
 pub fn from_text(text: &str) -> Result<ContactTrace, TraceError> {
+    let _span = sos_obs::profile::span("trace/text_decode");
     let mut nodes: Option<usize> = None;
     let mut range_m: Option<f64> = None;
     let mut labels: Option<Vec<String>> = None;

@@ -232,6 +232,7 @@ pub fn check_ccdf_fingerprint(
 /// Imports corpus bytes in the given format, transparently
 /// decompressing gzip framing first (detected by magic).
 pub fn import_bytes(format: CorpusFormat, bytes: &[u8]) -> Result<ImportedCorpus, TraceError> {
+    let _span = sos_obs::profile::span("trace/corpus_import");
     let plain;
     let bytes = if inflate::is_gzip(bytes) {
         plain = inflate::gunzip(bytes)?;

@@ -23,7 +23,8 @@
 //!
 //! [`ImportReport`]: sos::trace::corpora::ImportReport
 
-use sos::experiments::corpus::{run_corpus_study_all_schemes, scheme_table, CorpusStudyConfig};
+use sos::experiments::corpus::{run_corpus_study_all_schemes, CorpusStudyConfig};
+use sos::experiments::report::corpus_scheme_table;
 use sos::trace::corpora::{check_ccdf_fingerprint, import_bytes, CorpusFormat, ImportedCorpus};
 use sos::trace::{codec_binary, codec_text, TraceAnalytics};
 use std::path::PathBuf;
@@ -110,7 +111,7 @@ fn main() {
                 ..CorpusStudyConfig::default()
             },
         );
-        print!("{}", scheme_table(&outcomes));
+        print!("{}", corpus_scheme_table(&outcomes));
         for o in &outcomes {
             assert_eq!(o.posts, 30, "{:?} must complete the workload", o.scheme);
             assert_eq!(o.security_alerts, 0, "{:?} raised alerts", o.scheme);

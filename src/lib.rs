@@ -17,6 +17,7 @@
 //! | [`engine`] | spatial-grid contact engine, event-driven kernel, batch scenario runner |
 //! | [`trace`] | contact-trace record/replay: codecs, synthetic social traces, analytics |
 //! | [`net`] | MPC-style discovery, sessions, framing, authenticated handshake |
+//! | [`obs`] | observability: metrics registry, event journal, span profiler |
 //! | [`core`] | the SOS middleware: ad hoc / message / routing managers |
 //! | [`social`] | AlleyOop Social: accounts, posts, follows, feeds, cloud |
 //! | [`experiments`] | the §VI field-study scenario and the `repro` harness |
@@ -39,5 +40,6 @@ pub use sos_engine as engine;
 pub use sos_experiments as experiments;
 pub use sos_graph as graph;
 pub use sos_net as net;
+pub use sos_obs as obs;
 pub use sos_sim as sim;
 pub use sos_trace as trace;

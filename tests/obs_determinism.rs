@@ -1,0 +1,87 @@
+//! The observability acceptance gate: instrumentation is passive.
+//!
+//! PR 4 established record→replay byte-identity as the repo's
+//! determinism ground truth. This test re-runs that loop **with the
+//! `sos-obs` layer attached** — registry-backed counters adopted,
+//! journal scopes recording, span profiler enabled — and asserts the
+//! observed replay is byte-identical to the blind one for every
+//! routing scheme: same delivered sets, same aggregate stats, same
+//! delay records, same frame counters.
+
+use sos::core::routing::SchemeKind;
+use sos::experiments::observe::RunObserver;
+use sos::experiments::replay::{
+    delivered_set, record_field_study_trace, replay_field_study, replay_field_study_observed,
+};
+use sos::experiments::scenario::small_test_config;
+use sos::obs::journal::ObsEvent;
+
+#[test]
+fn instrumented_replay_is_byte_identical_for_every_scheme() {
+    let mut cfg = small_test_config(17, SchemeKind::Epidemic);
+    cfg.days = 1;
+    cfg.total_posts = 25;
+    let trace = record_field_study_trace(&cfg);
+
+    for scheme in SchemeKind::ALL {
+        let mut cfg = cfg.clone();
+        cfg.scheme = scheme;
+        let blind = replay_field_study(&cfg, &trace);
+        // Profiling on: the spans around the driver tick, sync, verify,
+        // and codec paths must also leave the run untouched.
+        let observer = RunObserver::with_profiling();
+        let observed = replay_field_study_observed(&cfg, &trace, &observer);
+        let observation = observer.finish();
+
+        assert_eq!(
+            delivered_set(&blind),
+            delivered_set(&observed),
+            "{scheme:?}: instrumentation changed the delivered set"
+        );
+        assert_eq!(
+            blind.totals, observed.totals,
+            "{scheme:?}: instrumentation changed the aggregate stats"
+        );
+        assert_eq!(
+            blind.metrics, observed.metrics,
+            "{scheme:?}: instrumentation changed the run metrics"
+        );
+
+        // And the observation actually observed: counters mirror the
+        // stats, the journal saw the contacts the tape replayed.
+        assert_eq!(
+            observation.metrics.counters["driver/frames_sent"], observed.metrics.frames_sent,
+            "{scheme:?}: registry out of sync with driver metrics"
+        );
+        let contact_ups = observation
+            .journal
+            .entries()
+            .filter(|e| matches!(e.event, ObsEvent::ContactUp { .. }))
+            .count();
+        assert!(
+            contact_ups > 0,
+            "{scheme:?}: journal recorded no contacts on a tape with encounters"
+        );
+        assert!(
+            !observation.profile.is_empty(),
+            "{scheme:?}: profiling was enabled but captured no spans"
+        );
+    }
+}
+
+#[test]
+fn observed_journal_is_deterministic_across_runs() {
+    let mut cfg = small_test_config(9, SchemeKind::InterestBased);
+    cfg.days = 1;
+    cfg.total_posts = 20;
+    let trace = record_field_study_trace(&cfg);
+
+    let a = RunObserver::new();
+    let b = RunObserver::new();
+    replay_field_study_observed(&cfg, &trace, &a);
+    replay_field_study_observed(&cfg, &trace, &b);
+    let ja = a.finish().journal;
+    let jb = b.finish().journal;
+    assert_eq!(ja.to_jsonl(), jb.to_jsonl(), "journal must be reproducible");
+    assert_eq!(a.finish().metrics, b.finish().metrics);
+}
