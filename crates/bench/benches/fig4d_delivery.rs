@@ -25,7 +25,7 @@ fn bench_fig4d(c: &mut Criterion) {
             for i in 0..100_000u64 {
                 let follower = (i % 10) as usize;
                 let followee = ((i / 10) % 10) as usize;
-                rec.expect(follower, followee);
+                rec.expect_delivery(follower, followee);
                 if i % 5 != 0 {
                     rec.delivered(follower, followee);
                 }

@@ -34,6 +34,9 @@ pub fn window() -> Duration {
 /// Times `f` adaptively against [`window`] and returns the mean
 /// nanoseconds per call, running at least `min_iters` timed iterations
 /// (clamped to ≥ 1).
+// sos-bench is one of the two sanctioned wall-clock readers (see
+// clippy.toml `disallowed-methods`): timing is its whole job.
+#[allow(clippy::disallowed_methods)]
 pub fn time_mean<O, F: FnMut() -> O>(min_iters: u64, mut f: F) -> f64 {
     let warm = Instant::now();
     std::hint::black_box(f());

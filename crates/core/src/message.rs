@@ -93,6 +93,7 @@ impl SosMessage {
         buf.extend_from_slice(&id.number.to_le_bytes());
         buf.extend_from_slice(&created_at.as_millis().to_le_bytes());
         buf.push(kind.to_byte());
+        // sos-lint: allow(no-narrow-cast) reason="payload is validated against MAX_PAYLOAD (64 KiB) before signing; the u32 wire field is immutable"
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(payload);
         buf
@@ -214,9 +215,11 @@ impl Bundle {
         buf.extend_from_slice(&self.message.id.number.to_le_bytes());
         buf.extend_from_slice(&self.message.created_at.as_millis().to_le_bytes());
         buf.push(self.message.kind.to_byte());
+        // sos-lint: allow(no-narrow-cast) reason="payload was validated against MAX_PAYLOAD (64 KiB) at create/decode; the u32 wire field is immutable"
         buf.extend_from_slice(&(self.message.payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&self.message.payload);
         buf.extend_from_slice(self.message.signature.as_bytes());
+        // sos-lint: allow(no-narrow-cast) reason="certificates are fixed-layout (subject + key + signature), a few hundred bytes, far under u16"
         buf.extend_from_slice(&(cert.len() as u16).to_le_bytes());
         buf.extend_from_slice(&cert);
         buf.extend_from_slice(&self.hops.to_le_bytes());
@@ -246,35 +249,45 @@ impl Bundle {
             *pos += n;
             Ok(s)
         };
-        let mut author = [0u8; 10];
-        author.copy_from_slice(take(&mut pos, 10)?);
-        let number = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
+        // Fixed-width reads land in arrays directly, so the int
+        // conversions below need no fallible slice-to-array step.
+        fn take_arr<const N: usize>(
+            bytes: &[u8],
+            pos: &mut usize,
+        ) -> Result<[u8; N], BundleRejection> {
+            if *pos + N > bytes.len() {
+                return Err(BundleRejection::Malformed);
+            }
+            let mut arr = [0u8; N];
+            arr.copy_from_slice(&bytes[*pos..*pos + N]);
+            *pos += N;
+            Ok(arr)
+        }
+        let author: [u8; 10] = take_arr(bytes, &mut pos)?;
+        let number = u64::from_le_bytes(take_arr(bytes, &mut pos)?);
         if number == 0 {
             // Numbers start at 1; zero cannot be expressed as a sync
             // have-range and is rejected at the wire.
             return Err(BundleRejection::Malformed);
         }
-        let created = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
+        let created = u64::from_le_bytes(take_arr(bytes, &mut pos)?);
         let kind =
             MessageKind::from_byte(take(&mut pos, 1)?[0]).ok_or(BundleRejection::Malformed)?;
-        let payload_len =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len 4")) as usize;
+        let payload_len = u32::from_le_bytes(take_arr(bytes, &mut pos)?) as usize;
         if payload_len > MAX_PAYLOAD {
             return Err(BundleRejection::Malformed);
         }
         let payload = take(&mut pos, payload_len)?.to_vec();
         let signature =
             Signature::from_slice(take(&mut pos, 64)?).ok_or(BundleRejection::Malformed)?;
-        let cert_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("len 2")) as usize;
+        let cert_len = u16::from_le_bytes(take_arr(bytes, &mut pos)?) as usize;
         let cert_bytes = take(&mut pos, cert_len)?;
         let author_certificate =
             Certificate::from_bytes(cert_bytes).map_err(|_| BundleRejection::Malformed)?;
-        let hops = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len 4"));
+        let hops = u32::from_le_bytes(take_arr(bytes, &mut pos)?);
         let copies = match take(&mut pos, 1)?[0] {
             0 => None,
-            1 => Some(u32::from_le_bytes(
-                take(&mut pos, 4)?.try_into().expect("len 4"),
-            )),
+            1 => Some(u32::from_le_bytes(take_arr(bytes, &mut pos)?)),
             _ => return Err(BundleRejection::Malformed),
         };
         if pos != bytes.len() {

@@ -780,7 +780,12 @@ impl Sos {
         // is not torn down after the first chunk's Done.
         self.pending_dones.insert(peer, requests.len());
         for msg in requests {
-            let payload = msg.encode().expect("chunked requests always encode");
+            // `requests` chunks to the wire limits, so encode cannot
+            // reject; treat a failure like any other broken send.
+            let Ok(payload) = msg.encode() else {
+                self.close_broken_session(peer, now, out);
+                return;
+            };
             match self.adhoc.send_payload(peer, &payload) {
                 Ok(frame) => {
                     self.stats.sync_frames_sent.inc();
@@ -987,7 +992,7 @@ impl Sos {
         if !batch.is_empty() && !self.flush_batch(from, now, &mut batch, out) {
             return;
         }
-        let done = SyncMsg::Done.encode().expect("Done always encodes");
+        let done = SyncMsg::encode_done();
         match self.adhoc.send_payload(from, &done) {
             Ok(frame) => {
                 self.stats.sync_frames_sent.inc();

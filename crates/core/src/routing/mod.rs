@@ -160,6 +160,7 @@ impl SchemeKind {
             SchemeKind::SprayAndWait => Box::new(SprayAndWait::new(8)),
             SchemeKind::InterestPredictive => Box::new(InterestPredictive::new()),
             SchemeKind::Custom(name) => {
+                // sos-lint: allow(no-panic) reason="documented API-misuse panic (# Panics above); custom schemes are installed via Sos::set_custom_scheme, never built here"
                 panic!("custom scheme {name:?} must be installed via Sos::set_custom_scheme")
             }
         }

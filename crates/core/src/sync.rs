@@ -114,15 +114,22 @@ impl SyncMsg {
                 let ranges: usize = wants.iter().map(|w| w.have.len()).sum();
                 let mut buf = Vec::with_capacity(3 + wants.len() * 12 + ranges * 16);
                 buf.push(TAG_REQUEST_V2);
-                buf.extend_from_slice(&(wants.len() as u16).to_le_bytes());
+                let count = u16::try_from(wants.len()).map_err(|_| SosError::RequestTooLarge {
+                    entries: wants.len(),
+                })?;
+                buf.extend_from_slice(&count.to_le_bytes());
                 for want in wants {
                     if want.have.len() > MAX_RANGES_PER_AUTHOR {
                         return Err(SosError::RequestTooLarge {
                             entries: want.have.len(),
                         });
                     }
+                    let ranges =
+                        u16::try_from(want.have.len()).map_err(|_| SosError::RequestTooLarge {
+                            entries: want.have.len(),
+                        })?;
                     buf.extend_from_slice(want.author.as_bytes());
-                    buf.extend_from_slice(&(want.have.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(&ranges.to_le_bytes());
                     for (start, end) in &want.have {
                         buf.extend_from_slice(&start.to_le_bytes());
                         buf.extend_from_slice(&end.to_le_bytes());
@@ -140,16 +147,29 @@ impl SyncMsg {
             SyncMsg::Bundles(bundles) => {
                 let mut buf = Vec::with_capacity(32);
                 buf.push(TAG_BUNDLES);
-                buf.extend_from_slice(&(bundles.len() as u32).to_le_bytes());
+                let count =
+                    u32::try_from(bundles.len()).map_err(|_| SosError::RequestTooLarge {
+                        entries: bundles.len(),
+                    })?;
+                buf.extend_from_slice(&count.to_le_bytes());
                 for bundle in bundles {
                     let body = bundle.encode();
-                    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                    let body_len = u32::try_from(body.len())
+                        .map_err(|_| SosError::PayloadTooLarge { size: body.len() })?;
+                    buf.extend_from_slice(&body_len.to_le_bytes());
                     buf.extend_from_slice(&body);
                 }
                 Ok(buf)
             }
-            SyncMsg::Done => Ok(vec![TAG_DONE]),
+            SyncMsg::Done => Ok(Self::encode_done()),
         }
+    }
+
+    /// Encodes the one-byte `Done` frame. Infallible (unlike the general
+    /// [`SyncMsg::encode`], which can reject oversized requests), so the
+    /// serve path's terminator needs no error handling.
+    pub fn encode_done() -> Vec<u8> {
+        vec![TAG_DONE]
     }
 
     /// Builds the request frames for `wants`, chunking so every frame
@@ -188,10 +208,13 @@ impl SyncMsg {
     /// length, so this avoids serializing every bundle a second time.
     pub fn encode_bundle_batch(bodies: &[Vec<u8>]) -> Vec<u8> {
         let total: usize = bodies.iter().map(|b| 4 + b.len()).sum();
+        // sos-lint: allow(no-unbounded-prealloc) reason="total sums already-allocated in-memory bodies, not attacker-controlled wire lengths"
         let mut buf = Vec::with_capacity(5 + total);
         buf.push(TAG_BUNDLES);
+        // sos-lint: allow(no-narrow-cast) reason="serve batches are sized under SYNC_BATCH_BUDGET (32 KiB), so counts and body lengths stay far below u32"
         buf.extend_from_slice(&(bodies.len() as u32).to_le_bytes());
         for body in bodies {
+            // sos-lint: allow(no-narrow-cast) reason="bundle bodies are header + MAX_PAYLOAD + cert, bounded well under u32"
             buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
             buf.extend_from_slice(body);
         }
@@ -219,6 +242,7 @@ impl SyncMsg {
         assert!(wants.len() <= MAX_REQUEST_AUTHORS, "v1 request overflow");
         let mut buf = Vec::with_capacity(3 + wants.len() * 18);
         buf.push(TAG_REQUEST_V1);
+        // sos-lint: allow(no-narrow-cast) reason="bounded by the MAX_REQUEST_AUTHORS assert above (legacy v1 API, documented panic)"
         buf.extend_from_slice(&(wants.len() as u16).to_le_bytes());
         for (user, after) in wants {
             buf.extend_from_slice(user.as_bytes());
@@ -254,7 +278,9 @@ impl SyncMsg {
                 for chunk in body.chunks_exact(18) {
                     let mut user = [0u8; 10];
                     user.copy_from_slice(&chunk[..10]);
-                    let after = u64::from_le_bytes(chunk[10..].try_into().expect("len 8"));
+                    let mut after_bytes = [0u8; 8];
+                    after_bytes.copy_from_slice(&chunk[10..]);
+                    let after = u64::from_le_bytes(after_bytes);
                     wants.push(AuthorWant {
                         author: UserId(user),
                         have: if after == 0 {

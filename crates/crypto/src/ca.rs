@@ -14,7 +14,7 @@ use crate::ed25519::{Signature, SigningKey, VerifyingKey};
 use crate::error::CertError;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A signed certificate revocation list.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -212,12 +212,21 @@ pub struct Validator {
     cache: Mutex<HashMap<[u8; 32], CachedCert>>,
 }
 
+// Cache locks recover from poisoning (`PoisonError::into_inner`) rather
+// than panicking: the cache only ever holds facts already proven against
+// the root key, so a writer that died mid-update cannot leave it in a
+// state that validates anything unproven.
 impl Clone for Validator {
     fn clone(&self) -> Validator {
         Validator {
             root: self.root.clone(),
             crl: self.crl.clone(),
-            cache: Mutex::new(self.cache.lock().expect("cert cache poisoned").clone()),
+            cache: Mutex::new(
+                self.cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
         }
     }
 }
@@ -240,7 +249,10 @@ impl Validator {
     /// Number of certificates whose issuer signature is currently cached
     /// (observability for tests and stats).
     pub fn cached_certs(&self) -> usize {
-        self.cache.lock().expect("cert cache poisoned").len()
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Installs a newer revocation list if it verifies and is newer than
@@ -258,7 +270,7 @@ impl Validator {
             _ => {
                 self.cache
                     .lock()
-                    .expect("cert cache poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .retain(|_, c| !crl.serials.contains(&c.serial));
                 self.crl = Some(crl);
                 true
@@ -282,7 +294,7 @@ impl Validator {
         let cached = self
             .cache
             .lock()
-            .expect("cert cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&fp)
             .copied();
         if let Some(entry) = cached {
@@ -311,7 +323,7 @@ impl Validator {
                 return Err(CertError::Revoked);
             }
         }
-        let mut cache = self.cache.lock().expect("cert cache poisoned");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if cache.len() >= CERT_CACHE_CAP {
             cache.clear();
         }

@@ -28,7 +28,7 @@
 use crate::field25519::{sqrt_m1, Fe};
 use crate::scalar::Scalar;
 use crate::sha2::Sha512;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Little-endian bytes of the Edwards curve constant
 /// d = −121665/121666 mod p.
@@ -690,7 +690,7 @@ const PREPARED_CACHE_CAP: usize = 256;
 pub fn prepared_cache_len() -> usize {
     prepared_cache()
         .lock()
-        .expect("prepared cache poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .len()
 }
 
@@ -700,12 +700,15 @@ pub fn prepared_cache_len() -> usize {
 pub fn clear_prepared_cache() {
     prepared_cache()
         .lock()
-        .expect("prepared cache poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .clear();
 }
 
 type PreparedMap = std::collections::HashMap<[u8; 32], std::sync::Arc<PreparedVerifyingKey>>;
 
+// Lookups recover from a poisoned lock (`PoisonError::into_inner`)
+// instead of panicking: entries are pure functions of the key bytes, so
+// a writer that died mid-insert cannot corrupt what a reader sees.
 fn prepared_cache() -> &'static Mutex<PreparedMap> {
     static CACHE: OnceLock<Mutex<PreparedMap>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()))
@@ -715,13 +718,17 @@ fn prepared_cache() -> &'static Mutex<PreparedMap> {
 /// process-wide cache. Returns `None` only for undecompressible keys.
 fn prepared_cache_lookup(key: &VerifyingKey) -> Option<std::sync::Arc<PreparedVerifyingKey>> {
     let cache = prepared_cache();
-    if let Some(hit) = cache.lock().expect("prepared cache poisoned").get(&key.0) {
+    if let Some(hit) = cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key.0)
+    {
         return Some(hit.clone());
     }
     // Build outside the lock: table construction is ~60 µs and must not
     // serialize other threads' verifications.
     let prepared = std::sync::Arc::new(PreparedVerifyingKey::new(key)?);
-    let mut map = cache.lock().expect("prepared cache poisoned");
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
     if map.len() >= PREPARED_CACHE_CAP {
         // Rare full-drop keeps the code free of LRU bookkeeping on the
         // hot path; the next encounters simply rebuild their authors.

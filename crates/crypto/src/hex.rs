@@ -5,10 +5,11 @@ use crate::error::CryptoError;
 
 /// Encodes bytes as lowercase hex.
 pub fn encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        s.push(DIGITS[(b >> 4) as usize] as char);
+        s.push(DIGITS[(b & 0xf) as usize] as char);
     }
     s
 }

@@ -18,6 +18,8 @@
 //!   all        every figure above
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sos_core::routing::SchemeKind;
 use sos_experiments::scenario::{run_field_study, FieldStudyConfig};
 use sos_experiments::{ablation, report};

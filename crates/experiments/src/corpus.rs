@@ -179,6 +179,7 @@ pub fn run_corpus_study_full(
                 SimTime::ZERO,
                 &mut rng,
             )
+            // sos-lint: allow(no-panic) reason="experiment setup: handles are index-prefixed and therefore unique by construction; a collision is a generator bug, not runtime input"
             .expect("index-prefixed handles are unique")
         })
         .collect();

@@ -96,6 +96,7 @@ pub fn run_density(cfg: &DensityConfig) -> DensityOutcome {
                 SimTime::ZERO,
                 &mut rng,
             )
+            // sos-lint: allow(no-panic) reason="experiment setup: handles are formatted from the node index and unique by construction"
             .expect("unique handles")
         })
         .collect();

@@ -124,8 +124,8 @@ pub struct Driver<C: EncounterSource = World> {
     queue: EventQueue<Event>,
     /// Open contacts and their frozen up-distance: the single source
     /// of connectivity truth for advertisements, transmissions, and
-    /// deliveries. Keys are normalized `(min, max)` pairs.
-    links: BTreeMap<(usize, usize), f64>,
+    /// deliveries.
+    links: LinkTable,
     /// Last scheduled arrival per directed `(src, dst)` pair: the MPC
     /// substrate is a reliable *ordered* byte stream, so a small frame
     /// (shorter serialization delay) must never overtake a large one
@@ -180,7 +180,7 @@ impl<C: EncounterSource> Driver<C> {
             followers,
             user_index,
             queue: EventQueue::new(),
-            links: BTreeMap::new(),
+            links: LinkTable::default(),
             in_flight: BTreeMap::new(),
             rng,
             config,
@@ -293,12 +293,12 @@ impl<C: EncounterSource> Driver<C> {
                 }
                 Event::ContactUp { a, b, distance_m } => {
                     let _span = sos_obs::profile::span("driver/contact");
-                    self.links.insert((a.min(b), a.max(b)), distance_m);
+                    self.links.insert(a, b, distance_m);
                     self.note_contact(now, a, b, true);
                 }
                 Event::ContactDown { a, b } => {
                     let _span = sos_obs::profile::span("driver/contact");
-                    self.links.remove(&(a.min(b), a.max(b)));
+                    self.links.remove(a, b);
                     self.note_contact(now, a, b, false);
                     self.apps[a].middleware_mut().on_peer_lost(PeerId(b as u32));
                     self.apps[b].middleware_mut().on_peer_lost(PeerId(a as u32));
@@ -326,20 +326,10 @@ impl<C: EncounterSource> Driver<C> {
             .add(self.metrics.delays.len() as u64);
     }
 
-    /// The peers currently connected to `node`, from the link table.
+    /// The peers currently connected to `node`, from the link table's
+    /// per-node adjacency index (O(degree), not O(open links)).
     fn connected_peers(&self, node: usize) -> Vec<usize> {
-        self.links
-            .keys()
-            .filter_map(|&(a, b)| {
-                if a == node {
-                    Some(b)
-                } else if b == node {
-                    Some(a)
-                } else {
-                    None
-                }
-            })
-            .collect()
+        self.links.peers_of(node).to_vec()
     }
 
     fn on_advertise(&mut self, node: usize, now: SimTime) {
@@ -354,7 +344,7 @@ impl<C: EncounterSource> Driver<C> {
     }
 
     fn transmit(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
-        let Some(&distance) = self.links.get(&(src.min(dst), src.max(dst))) else {
+        let Some(distance) = self.links.distance(src, dst) else {
             return; // contact closed before transmission
         };
         let Some(link) = LinkModel::for_distance(distance, self.config.infra_available) else {
@@ -383,7 +373,7 @@ impl<C: EncounterSource> Driver<C> {
     }
 
     fn on_deliver(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
-        if !self.links.contains_key(&(src.min(dst), src.max(dst))) {
+        if !self.links.connected(src, dst) {
             return; // contact closed mid-flight
         }
         let replies = self.apps[dst].middleware_mut().handle_frame(
@@ -411,7 +401,7 @@ impl<C: EncounterSource> Driver<C> {
             });
         }
         for &follower in &self.followers[node] {
-            self.metrics.delivery.expect(follower, node);
+            self.metrics.delivery.expect_delivery(follower, node);
         }
     }
 
@@ -469,4 +459,160 @@ pub fn aggregate_stats(apps: &[AlleyOopApp]) -> SosStats {
         total.merge(&app.middleware().stats());
     }
     total
+}
+
+/// The live link table: open contacts keyed by normalized `(lo, hi)`
+/// pair with the distance frozen at contact-up, plus a per-node
+/// adjacency index so [`Driver::connected_peers`] is O(degree) instead
+/// of scanning every open link (the full-corpus runs open tens of
+/// thousands of links while a node's degree stays in single digits).
+///
+/// Peer lists are kept sorted ascending — exactly the order the old
+/// full scan over ascending `(lo, hi)` keys produced (partners below
+/// the node first, then partners above, both ascending), so replacing
+/// the scan changes no advertisement order and replay byte-identity
+/// holds.
+#[derive(Debug, Default)]
+struct LinkTable {
+    /// Frozen up-distance per open contact, normalized `(lo, hi)` keys.
+    links: BTreeMap<(usize, usize), f64>,
+    /// Sorted peers per node; entries are removed when emptied so the
+    /// map stays proportional to currently-connected nodes.
+    adj: BTreeMap<usize, Vec<usize>>,
+}
+
+impl LinkTable {
+    /// Opens (or re-freezes) the `a`–`b` contact at `distance_m`.
+    fn insert(&mut self, a: usize, b: usize, distance_m: f64) {
+        if self
+            .links
+            .insert((a.min(b), a.max(b)), distance_m)
+            .is_none()
+        {
+            Self::link(&mut self.adj, a, b);
+            Self::link(&mut self.adj, b, a);
+        }
+    }
+
+    /// Closes the `a`–`b` contact (no-op when not open).
+    fn remove(&mut self, a: usize, b: usize) {
+        if self.links.remove(&(a.min(b), a.max(b))).is_some() {
+            Self::unlink(&mut self.adj, a, b);
+            Self::unlink(&mut self.adj, b, a);
+        }
+    }
+
+    /// The frozen distance of the open `a`–`b` contact, if any.
+    fn distance(&self, a: usize, b: usize) -> Option<f64> {
+        self.links.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// Whether the `a`–`b` contact is open.
+    fn connected(&self, a: usize, b: usize) -> bool {
+        self.links.contains_key(&(a.min(b), a.max(b)))
+    }
+
+    /// The peers currently connected to `node`, ascending.
+    fn peers_of(&self, node: usize) -> &[usize] {
+        self.adj.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    fn link(adj: &mut BTreeMap<usize, Vec<usize>>, node: usize, peer: usize) {
+        let peers = adj.entry(node).or_default();
+        if let Err(at) = peers.binary_search(&peer) {
+            peers.insert(at, peer);
+        }
+    }
+
+    fn unlink(adj: &mut BTreeMap<usize, Vec<usize>>, node: usize, peer: usize) {
+        if let Some(peers) = adj.get_mut(&node) {
+            if let Ok(at) = peers.binary_search(&peer) {
+                peers.remove(at);
+            }
+            if peers.is_empty() {
+                adj.remove(&node);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-index implementation `connected_peers` used: a full scan
+    /// over ascending normalized keys. The index must reproduce its
+    /// output exactly — order included — for replay byte-identity.
+    fn naive_peers(links: &BTreeMap<(usize, usize), f64>, node: usize) -> Vec<usize> {
+        links
+            .keys()
+            .filter_map(|&(a, b)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjacency_index_matches_naive_scan() {
+        // Deterministic pseudo-random churn (xorshift) over a small
+        // node population: open/close contacts and compare the index
+        // against the naive scan after every transition.
+        let mut table = LinkTable::default();
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        const NODES: usize = 17;
+        for _ in 0..4000 {
+            let a = (rand() % NODES as u64) as usize;
+            let b = (rand() % NODES as u64) as usize;
+            if a == b {
+                continue;
+            }
+            if rand() % 3 == 0 {
+                table.remove(a, b);
+            } else {
+                table.insert(a, b, (rand() % 250) as f64);
+            }
+            for node in 0..NODES {
+                assert_eq!(
+                    table.peers_of(node),
+                    naive_peers(&table.links, node).as_slice(),
+                    "index diverged from the naive scan at node {node}"
+                );
+            }
+        }
+        // Distances and membership agree with the backing map too.
+        for (&(a, b), &d) in &table.links {
+            assert!(table.connected(a, b));
+            assert_eq!(table.distance(a, b), Some(d));
+            assert_eq!(table.distance(b, a), Some(d));
+        }
+    }
+
+    #[test]
+    fn adjacency_index_reopen_refreezes_distance() {
+        let mut table = LinkTable::default();
+        table.insert(3, 1, 10.0);
+        assert_eq!(table.distance(1, 3), Some(10.0));
+        // Re-inserting an open link re-freezes the distance without
+        // duplicating the adjacency entry.
+        table.insert(1, 3, 25.0);
+        assert_eq!(table.distance(3, 1), Some(25.0));
+        assert_eq!(table.peers_of(1), &[3]);
+        assert_eq!(table.peers_of(3), &[1]);
+        table.remove(3, 1);
+        assert!(!table.connected(1, 3));
+        assert!(table.peers_of(1).is_empty());
+        assert!(table.adj.is_empty(), "emptied nodes must be evicted");
+    }
 }

@@ -215,6 +215,7 @@ fn run_eviction_study_inner(
             t += sos_sim::SimDuration::from_secs(10);
             author
                 .post(MessageKind::Post, posted.to_le_bytes().to_vec(), t)
+                // sos-lint: allow(no-panic) reason="experiment setup: 8-byte payloads cannot exceed MAX_PAYLOAD; a post failure is a harness bug"
                 .expect("post");
         }
         // Relay visits the author, then carries the (capped) window to

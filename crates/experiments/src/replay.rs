@@ -26,6 +26,7 @@ pub fn record_field_study_trace(config: &FieldStudyConfig) -> ContactTrace {
     let world = field_study_world(config);
     let end = SimTime::from_hours(config.days * 24);
     ContactTrace::record(&world, SimTime::ZERO, end)
+        // sos-lint: allow(no-panic) reason="recording a synthetic geometric world, not external input; an invalid timeline is a generator bug"
         .expect("geometric sources emit valid timelines")
 }
 

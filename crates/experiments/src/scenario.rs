@@ -125,6 +125,7 @@ fn build_apps(config: &FieldStudyConfig, rng: &mut rand::rngs::StdRng) -> Vec<Al
                 SimTime::ZERO,
                 rng,
             )
+            // sos-lint: allow(no-panic) reason="experiment setup: handles are formatted from the node index and unique by construction"
             .expect("unique handles")
         })
         .collect();

@@ -1,0 +1,74 @@
+//! Rule scoping: which crates and files each rule applies to.
+//!
+//! The defaults encode this repository's layout and bug history; they
+//! are data, not code, so a future crate only needs a line here (and
+//! the README table) to opt in.
+
+/// Scoping configuration for a lint run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crates whose production code must be panic-free (`no-panic`).
+    /// Short names: the `<name>` of `crates/<name>`, or `"root"` for
+    /// the umbrella crate's own `src/`.
+    pub panic_crates: Vec<String>,
+    /// Crates allowed to read the wall clock (`no-wallclock` skips
+    /// them): observability and benchmarking by design.
+    pub wallclock_exempt_crates: Vec<String>,
+    /// Path substrings of files whose output must be deterministic
+    /// (`no-hash-order`): wire encoders and report/journal renderers.
+    pub ordered_output_files: Vec<String>,
+    /// Path substrings of wire codec / corpus adapter files
+    /// (`no-narrow-cast` + `no-unbounded-prealloc`).
+    pub wire_files: Vec<String>,
+}
+
+impl Config {
+    /// The scoping for this workspace (see README "Static analysis").
+    pub fn sos_defaults() -> Config {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
+        Config {
+            // The protocol crates (R1 motivation: PR 4 made malformed
+            // trace ingestion return errors; nothing must regress it),
+            // the experiment harness that CI smoke-runs, and sos-lint
+            // itself (the gate must not be able to take CI down).
+            panic_crates: s(&["core", "net", "trace", "crypto", "experiments", "lint"]),
+            // sos-obs owns the span profiler, sos-bench owns timing.
+            wallclock_exempt_crates: s(&["obs", "bench"]),
+            // Frame/bundle encoders, trace codecs + the recorder that
+            // feeds them, and everything that renders RUN-REPORTs or
+            // BENCH-JSON: hash-iteration order must never reach them.
+            ordered_output_files: s(&[
+                "/codec_",
+                "/frame.rs",
+                "/message.rs",
+                "/sync.rs",
+                "/advertisement.rs",
+                "/record.rs",
+                "/report.rs",
+                "/journal.rs",
+                "/emit.rs",
+            ]),
+            // Everything that parses or emits wire bytes or imports
+            // foreign corpora (R4/R5 motivation: the PR 5 `as u64`
+            // saturation and hostile-length allocation classes).
+            wire_files: s(&[
+                "/codec_",
+                "/corpora/",
+                "/frame.rs",
+                "/message.rs",
+                "/sync.rs",
+                "/handshake.rs",
+                "/session.rs",
+                "/advertisement.rs",
+            ]),
+        }
+    }
+
+    /// True when `rel_path` matches any pattern in `pats`.
+    pub(crate) fn path_matches(rel_path: &str, pats: &[String]) -> bool {
+        // Normalize so patterns anchored at a path component (`/x.rs`)
+        // also match a file at the scan root.
+        let slashed = format!("/{rel_path}");
+        pats.iter().any(|p| slashed.contains(p.as_str()))
+    }
+}

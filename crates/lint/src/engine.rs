@@ -1,0 +1,391 @@
+//! The lint engine: walks the workspace, classifies files and
+//! `#[cfg(test)]` regions, runs the rules, and applies the allow
+//! protocol.
+//!
+//! ## The allow protocol
+//!
+//! Every suppression must carry a reason:
+//!
+//! ```text
+//! // sos-lint: allow(no-panic) reason="poisoning recovered via into_inner"
+//! some.call().unwrap();
+//! ```
+//!
+//! The comment covers the **next source line** (or its own line when it
+//! trails code). Multiple rules separate with commas. A malformed
+//! annotation (missing reason, unknown rule) and an annotation that
+//! suppresses nothing are themselves findings — allows cannot rot
+//! silently.
+
+use crate::config::Config;
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules::{self, FileCtx, Finding, ALL_RULES, RULE_ALLOW};
+use std::path::{Path, PathBuf};
+
+/// One parsed `sos-lint: allow(...)` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Path relative to the scan root.
+    pub file: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Source line the annotation covers.
+    pub target_line: u32,
+    /// Rule ids being allowed.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Findings this annotation suppressed (filled during linting).
+    pub suppressed: u32,
+}
+
+/// Result of linting one file or a whole tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every allow annotation seen, with use counts.
+    pub allows: Vec<Allow>,
+    /// Production files linted.
+    pub files_linted: usize,
+    /// Files classified as test/bench/example support and skipped.
+    pub files_skipped: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+        self.allows.extend(other.allows);
+        self.files_linted += other.files_linted;
+        self.files_skipped += other.files_skipped;
+    }
+
+    fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+}
+
+/// Lints every production `.rs` file under `root` (skipping `vendor/`,
+/// `target/`, hidden directories, and test/bench/example trees).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk; unreadable individual
+/// files are reported as findings rather than aborting the run.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort(); // deterministic report order regardless of OS walk order
+    let mut report = LintReport::default();
+    for rel in files {
+        if is_test_support_path(&rel) {
+            report.files_skipped += 1;
+            continue;
+        }
+        let abs = root.join(&rel);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => report.merge(lint_source(&rel_str, &src, cfg)),
+            Err(e) => report.findings.push(Finding {
+                rule: RULE_ALLOW,
+                file: rel_str,
+                line: 0,
+                message: format!("unreadable source file: {e}"),
+                excerpt: String::new(),
+            }),
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True for files that are test/bench/example support rather than
+/// production code (whole-file exemption).
+fn is_test_support_path(rel: &Path) -> bool {
+    rel.components().any(|c| {
+        let c = c.as_os_str().to_string_lossy();
+        c == "tests" || c == "benches" || c == "examples" || c == "fixtures"
+    }) || rel.file_name().is_some_and(|f| f == "build.rs")
+}
+
+/// The short crate name for a workspace-relative path: `crates/net/...`
+/// → `net`; the umbrella crate's own `src/` → `root`.
+fn crate_name(rel_path: &str) -> &str {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("root")
+    } else {
+        "root"
+    }
+}
+
+/// Lints a single file's source text. `rel_path` drives crate and file
+/// scoping exactly as in a workspace run, which is what lets fixture
+/// tests exercise the rules without touching the filesystem.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> LintReport {
+    let toks = lexer::lex(src);
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment)
+        .map(|(i, _)| i)
+        .collect();
+    let lines: Vec<&str> = src.lines().collect();
+    let test_ranges = test_ranges(&toks, &code);
+    let ctx = FileCtx {
+        rel_path,
+        crate_name: crate_name(rel_path),
+        toks: &toks,
+        code: &code,
+        lines: &lines,
+        test_ranges: &test_ranges,
+    };
+    let raw = rules::run_rules(&ctx, cfg);
+
+    let (mut allows, mut findings) = parse_allows(rel_path, &toks, &code, &lines);
+    // Suppression: a finding is covered when an allow targets its line
+    // and names its rule.
+    for f in raw {
+        let covered = allows
+            .iter_mut()
+            .find(|a| a.target_line == f.line && a.rules.iter().any(|r| r == f.rule));
+        match covered {
+            Some(a) => a.suppressed += 1,
+            None => findings.push(f),
+        }
+    }
+    // An allow that suppressed nothing is dead weight — flag it so
+    // stale annotations get cleaned up when the code they excused
+    // improves.
+    for a in &allows {
+        if a.suppressed == 0 {
+            findings.push(Finding {
+                rule: RULE_ALLOW,
+                file: rel_path.to_string(),
+                line: a.line,
+                message: format!(
+                    "allow({}) suppresses nothing — remove the stale annotation",
+                    a.rules.join(",")
+                ),
+                excerpt: lines
+                    .get(a.line as usize - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    LintReport {
+        findings,
+        allows,
+        files_linted: 1,
+        files_skipped: 0,
+    }
+}
+
+/// Extracts `sos-lint:` annotations from the comment tokens. Returns
+/// the parsed allows plus findings for malformed ones.
+fn parse_allows(
+    rel_path: &str,
+    toks: &[Tok<'_>],
+    code: &[usize],
+    lines: &[&str],
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        // Annotations live in plain comments only: doc comments
+        // (`///`, `//!`, `/**`, `/*!`) are prose and may *mention* the
+        // syntax without engaging it.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = t.text.find("sos-lint:") else {
+            continue;
+        };
+        let body = t.text[at + "sos-lint:".len()..].trim();
+        let malformed = |msg: &str| Finding {
+            rule: RULE_ALLOW,
+            file: rel_path.to_string(),
+            line: t.line,
+            message: format!("malformed sos-lint annotation: {msg}"),
+            excerpt: lines
+                .get(t.line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        };
+        let Some(rest) = body.strip_prefix("allow(") else {
+            findings.push(malformed("expected `allow(<rule>) reason=\"...\"`"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(malformed("unclosed allow(...)"));
+            continue;
+        };
+        let rule_list: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rule_list.is_empty() {
+            findings.push(malformed("allow() names no rules"));
+            continue;
+        }
+        if let Some(bad) = rule_list.iter().find(|r| !ALL_RULES.contains(&r.as_str())) {
+            findings.push(malformed(&format!(
+                "unknown rule {bad:?} (known: {})",
+                ALL_RULES.join(", ")
+            )));
+            continue;
+        }
+        let after = rest[close + 1..].trim();
+        let reason = after
+            .strip_prefix("reason=")
+            .map(str::trim)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.split('"').next())
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            findings.push(malformed("missing or empty reason=\"...\""));
+            continue;
+        }
+        // Target: the comment's own line when it trails code, else the
+        // next line holding a code token.
+        let trails_code = code
+            .iter()
+            .take_while(|&&ci| ci < i)
+            .any(|&ci| toks[ci].line == t.line);
+        let target_line = if trails_code {
+            t.line
+        } else {
+            code.iter()
+                .map(|&ci| &toks[ci])
+                .find(|c| c.line > t.line)
+                .map(|c| c.line)
+                .unwrap_or(t.line)
+        };
+        allows.push(Allow {
+            file: rel_path.to_string(),
+            line: t.line,
+            target_line,
+            rules: rule_list,
+            reason: reason.to_string(),
+            suppressed: 0,
+        });
+    }
+    (allows, findings)
+}
+
+/// Line ranges covered by `#[cfg(test)]` (and `#[test]`/`#[bench]`)
+/// items: from the attribute to the item's closing brace (or `;`).
+fn test_ranges(toks: &[Tok<'_>], code: &[usize]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let tok = |k: usize| -> Option<&Tok<'_>> { code.get(k).map(|&ci| &toks[ci]) };
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(tok(i).is_some_and(|t| t.text == "#") && tok(i + 1).is_some_and(|t| t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute to its matching `]`, collecting idents.
+        let attr_line = tok(i).map(|t| t.line).unwrap_or(1);
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut j = i + 1;
+        while let Some(t) = tok(j) {
+            match (t.kind, t.text) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokKind::Ident, name) => idents.push(name),
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr = match idents.first() {
+            Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+            Some(&"test") | Some(&"bench") => idents.len() == 1,
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // The attributed item: skip further attributes, then run to the
+        // matching close brace (or a top-level `;` for `use`/`mod x;`).
+        let mut k = j + 1;
+        while tok(k).is_some_and(|t| t.text == "#") && tok(k + 1).is_some_and(|t| t.text == "[") {
+            let mut d = 0usize;
+            while let Some(t) = tok(k) {
+                if t.text == "[" {
+                    d += 1;
+                } else if t.text == "]" {
+                    d = d.saturating_sub(1);
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace = 0usize;
+        let mut end_line = attr_line;
+        while let Some(t) = tok(k) {
+            end_line = t.line;
+            match t.text {
+                "{" => brace += 1,
+                "}" => {
+                    brace = brace.saturating_sub(1);
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                ";" if brace == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        ranges.push((attr_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}

@@ -1,0 +1,371 @@
+//! A small, honest Rust lexer.
+//!
+//! `sos-lint` rules operate on a token stream, never on raw text, so a
+//! `panic!` inside a string literal, a `.unwrap()` in a doc comment, or
+//! an `Instant::now` in `//` prose can never produce a finding. The
+//! lexer handles the parts of the Rust grammar that trip up grep-style
+//! tools:
+//!
+//! - line comments (`//`, `///`, `//!`),
+//! - **nested** block comments (`/* a /* b */ c */`),
+//! - string literals with escapes (`"\""`),
+//! - raw strings with arbitrary hash fences (`r#"..."#`, `br##"..."##`),
+//! - byte strings and byte literals,
+//! - char literals vs. lifetimes (`'a'` vs `'a`),
+//! - numeric literals with underscores and suffixes.
+//!
+//! It does not attempt full fidelity (no float-vs-range disambiguation,
+//! no `r#ident` raw identifiers beyond stripping the prefix); rules only
+//! need identifier, punctuation, literal, and comment classification
+//! with line numbers.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `as`, `mod`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`). Distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (`0x7f`, `1_000u64`, `2.5`).
+    Number,
+    /// Any string-ish literal: `"..."`, `r#"..."#`, `b"..."`, `br"..."`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment, doc or not. Text includes the slashes.
+    LineComment,
+    /// A `/* ... */` comment (nested fences handled). Text included.
+    BlockComment,
+    /// A single punctuation byte (`.`, `(`, `!`, `[`, ...).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    fn new(kind: TokKind, text: &'a str, line: u32) -> Tok<'a> {
+        Tok { kind, text, line }
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// or comments are closed at end of input (the lint must degrade
+/// gracefully on code that rustc itself would reject).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.take_quoted_tail();
+                    self.push(TokKind::Str, start, line);
+                }
+                b'r' | b'b' if self.starts_raw_or_byte_string() => {
+                    self.take_raw_or_byte_string();
+                    self.push(TokKind::Str, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 2;
+                    self.take_char_tail();
+                    self.push(TokKind::Char, start, line);
+                }
+                b'\'' => {
+                    if self.is_char_literal() {
+                        self.pos += 1;
+                        self.take_char_tail();
+                        self.push(TokKind::Char, start, line);
+                    } else {
+                        // Lifetime: `'` + ident chars.
+                        self.pos += 1;
+                        self.take_ident_tail();
+                        self.push(TokKind::Lifetime, start, line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.take_number();
+                    self.push(TokKind::Number, start, line);
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.take_ident_tail();
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out
+            .push(Tok::new(kind, &self.src[start..self.pos], line));
+    }
+
+    fn bump_line_counting(&mut self, upto: usize) {
+        while self.pos < upto {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        // Nested fences: `/* /* */ */` is one comment.
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// After the opening `"`: consume through the closing quote,
+    /// honouring `\"` and `\\` escapes.
+    fn take_quoted_tail(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    // A `\` + newline is a line continuation: the
+                    // escaped byte still advances the line counter.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// True when the cursor starts `r"`, `r#`, `br"`, `br#`, or `b"`.
+    fn starts_raw_or_byte_string(&self) -> bool {
+        let b0 = self.bytes[self.pos];
+        let (mut i, mut saw_r) = (1usize, b0 == b'r');
+        if b0 == b'b' {
+            match self.peek(1) {
+                Some(b'r') => {
+                    i = 2;
+                    saw_r = true;
+                }
+                Some(b'"') => return true, // b"..."
+                _ => return false,
+            }
+        }
+        if !saw_r {
+            return false;
+        }
+        // After `r` / `br`: any number of `#` then `"`.
+        loop {
+            match self.peek(i) {
+                Some(b'#') => i += 1,
+                Some(b'"') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn take_raw_or_byte_string(&mut self) {
+        // Skip the `b` and/or `r` prefix.
+        if self.bytes[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'r') {
+            self.pos += 1;
+            // Count the hash fence.
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.pos += 1;
+            }
+            // Opening quote.
+            if self.peek(0) == Some(b'"') {
+                self.pos += 1;
+            }
+            // Raw strings have no escapes: scan for `"` + hashes fence.
+            'scan: while self.pos < self.bytes.len() {
+                if self.bytes[self.pos] == b'"' {
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            if self.bytes[self.pos] == b'\n' {
+                                self.line += 1;
+                            }
+                            self.pos += 1;
+                            continue 'scan;
+                        }
+                    }
+                    self.pos += 1 + hashes;
+                    return;
+                }
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        } else {
+            // Plain byte string b"...": same escape rules as "...".
+            if self.peek(0) == Some(b'"') {
+                self.pos += 1;
+            }
+            self.take_quoted_tail();
+        }
+    }
+
+    /// Distinguishes `'x'` / `'\n'` / `'\u{1F600}'` (char literal) from
+    /// `'a` / `'static` (lifetime). A quote at `pos`; a char literal has
+    /// a closing quote after one escaped or plain character.
+    fn is_char_literal(&self) -> bool {
+        match self.peek(1) {
+            Some(b'\\') => true, // escape: always a char literal
+            Some(b'\'') => false,
+            Some(_) => {
+                // `'X?` — char literal iff the char after X is `'`.
+                // Multi-byte UTF-8 chars: find the end of one char.
+                let rest = &self.src[self.pos + 1..];
+                match rest.chars().next() {
+                    Some(c) => rest[c.len_utf8()..].starts_with('\''),
+                    None => false,
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// After the opening `'`: consume through the closing quote.
+    fn take_char_tail(&mut self) {
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2; // skip the escape introducer + escaped byte
+                           // `\u{...}` escapes: consume to the closing brace.
+            while self.pos < self.bytes.len()
+                && self.bytes[self.pos] != b'\''
+                && self.bytes[self.pos] != b'\n'
+            {
+                self.pos += 1;
+            }
+            if self.peek(0) == Some(b'\'') {
+                self.pos += 1;
+            }
+            return;
+        }
+        let rest = &self.src[self.pos..];
+        if let Some(c) = rest.chars().next() {
+            self.pos += c.len_utf8();
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn take_ident_tail(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn take_number(&mut self) {
+        let end = self.pos;
+        let mut end = end;
+        let bytes = self.bytes;
+        // Integer/float body: digits, underscores, radix letters, one
+        // dot (only when followed by a digit — `0..n` is a range, and
+        // `x.min()` after a number like `7.min(2)` stays punctuation).
+        let mut seen_dot = false;
+        end += 1;
+        while end < bytes.len() {
+            let b = bytes[end];
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                end += 1;
+            } else if b == b'.'
+                && !seen_dot
+                && bytes.get(end + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                seen_dot = true;
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        self.bump_line_counting(end);
+    }
+}

@@ -1,0 +1,40 @@
+//! `sos-lint` — workspace static analysis that enforces the invariants
+//! this repository keeps re-learning by bug.
+//!
+//! Every rule is motivated by a bug class that has already been fixed
+//! once (see README "Static analysis" for the per-rule rationale and
+//! the PR that motivated it):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-panic` | decode/forward paths in the protocol crates return errors, never abort |
+//! | `no-wallclock` | only sos-obs/sos-bench read the wall clock — replay stays deterministic |
+//! | `no-hash-order` | hash-iteration order never feeds frames, codecs, or reports |
+//! | `no-narrow-cast` | wire/time-derived values are never silently narrowed or float-truncated |
+//! | `no-unbounded-prealloc` | no allocation sized by a wire-read length without a visible cap |
+//!
+//! The engine is a real (small) Rust lexer plus token-stream rules, so
+//! comments, doc examples, and string literals can never produce
+//! findings, and `#[cfg(test)]` regions and `tests/`/`benches/`/
+//! `examples/` trees are exempt. Suppressions must carry a reason:
+//!
+//! ```text
+//! // sos-lint: allow(no-panic) reason="mutex poisoning recovered below"
+//! ```
+//!
+//! Run it as a binary (`cargo run -p sos-lint -- [--json] [ROOT]`), or
+//! from tests via [`engine::lint_workspace`] — the root test
+//! `tests/lint_clean.rs` keeps the live workspace clean in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{lint_source, lint_workspace, LintReport};
+pub use rules::Finding;

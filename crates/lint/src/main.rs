@@ -1,0 +1,48 @@
+//! The `sos-lint` binary: lints a workspace tree and exits non-zero on
+//! findings (CI gate). Usage: `sos-lint [--json] [ROOT]`.
+
+#![forbid(unsafe_code)]
+
+use sos_lint::{config::Config, engine, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: sos-lint [--json] [ROOT]");
+                println!("Lints the workspace at ROOT (default: .) against the SOS rules;");
+                println!("exits 1 when findings remain, 2 on I/O failure.");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("sos-lint: unknown flag {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cfg = Config::sos_defaults();
+    match engine::lint_workspace(&root, &cfg) {
+        Ok(rep) => {
+            if json {
+                print!("{}", report::render_json(&rep));
+            } else {
+                print!("{}", report::render_text(&rep));
+            }
+            if rep.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("sos-lint: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Rendering: a human-readable table and a machine-readable JSON
+//! document (hand-rolled — `sos-lint` has zero dependencies, like the
+//! rest of the workspace).
+
+use crate::engine::LintReport;
+use crate::rules::ALL_RULES;
+use std::fmt::Write as _;
+
+/// Renders the human table: findings, allows in effect, and a per-rule
+/// summary. Stable, sorted output (itself subject to the repo's
+/// determinism discipline).
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sos-lint: {} file(s) linted, {} test/bench/example file(s) exempt",
+        report.files_linted, report.files_skipped
+    );
+    if report.findings.is_empty() {
+        let _ = writeln!(out, "sos-lint: clean");
+    } else {
+        let _ = writeln!(out, "sos-lint: {} finding(s)", report.findings.len());
+        let loc_w = report
+            .findings
+            .iter()
+            .map(|f| f.file.len() + 1 + digits(f.line))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for f in &report.findings {
+            let loc = format!("{}:{}", f.file, f.line);
+            let _ = writeln!(out, "  {:<22} {loc:<loc_w$}  {}", f.rule, f.message);
+            if !f.excerpt.is_empty() {
+                let _ = writeln!(out, "  {:<22} {:<loc_w$}  > {}", "", "", f.excerpt);
+            }
+        }
+    }
+    if !report.allows.is_empty() {
+        let _ = writeln!(out, "allows in effect: {}", report.allows.len());
+        for a in &report.allows {
+            let _ = writeln!(
+                out,
+                "  {:<22} {}:{}  ({} finding(s)) reason=\"{}\"",
+                a.rules.join(","),
+                a.file,
+                a.line,
+                a.suppressed,
+                a.reason
+            );
+        }
+    }
+    let _ = writeln!(out, "per-rule totals (findings / allowed):");
+    for rule in ALL_RULES {
+        let fired = report.findings.iter().filter(|f| f.rule == rule).count();
+        let allowed: u32 = report
+            .allows
+            .iter()
+            .filter(|a| a.rules.iter().any(|r| r == rule))
+            .map(|a| a.suppressed)
+            .sum();
+        let _ = writeln!(out, "  {rule:<22} {fired} / {allowed}");
+    }
+    out
+}
+
+/// Renders the JSON document: `{"clean": bool, "files_linted": n,
+/// "findings": [...], "allows": [...]}`.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"clean\": {},\n  \"files_linted\": {},\n  \"files_skipped\": {},\n",
+        report.is_clean(),
+        report.files_linted,
+        report.files_skipped
+    );
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}}}",
+            if i == 0 { "" } else { "," },
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.excerpt)
+        );
+    }
+    out.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"allows\": [");
+    for (i, a) in report.allows.iter().enumerate() {
+        let rules: Vec<String> = a.rules.iter().map(|r| json_str(r)).collect();
+        let _ = write!(
+            out,
+            "{}\n    {{\"rules\": [{}], \"file\": {}, \"line\": {}, \"suppressed\": {}, \"reason\": {}}}",
+            if i == 0 { "" } else { "," },
+            rules.join(", "),
+            json_str(&a.file),
+            a.line,
+            a.suppressed,
+            json_str(&a.reason)
+        );
+    }
+    out.push_str(if report.allows.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,131 @@
+//! The escape-hatch contract: an allow must name its rule, carry a
+//! reason, actually suppress something — and is always counted in the
+//! report, never silent.
+
+use sos_lint::{lint_source, Config, LintReport};
+
+fn lint(src: &str) -> LintReport {
+    lint_source("crates/core/src/fixture.rs", src, &Config::sos_defaults())
+}
+
+#[test]
+fn allow_on_preceding_line_suppresses_the_finding() {
+    let src = r#"
+pub fn f(x: Option<u8>) -> u8 {
+    // sos-lint: allow(no-panic) reason="fixture: x is checked by the caller"
+    x.unwrap()
+}
+"#;
+    let report = lint(src);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].suppressed, 1);
+    assert_eq!(report.allows[0].rules, ["no-panic"]);
+    assert!(report.allows[0].reason.contains("checked by the caller"));
+}
+
+#[test]
+fn trailing_allow_covers_its_own_line() {
+    let src = r#"
+pub fn f(x: Option<u8>) -> u8 {
+    x.unwrap() // sos-lint: allow(no-panic) reason="fixture: trailing form"
+}
+"#;
+    let report = lint(src);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert_eq!(report.allows[0].suppressed, 1);
+}
+
+#[test]
+fn allow_without_reason_is_malformed() {
+    let src = r#"
+pub fn f(x: Option<u8>) -> u8 {
+    // sos-lint: allow(no-panic)
+    x.unwrap()
+}
+"#;
+    let report = lint(src);
+    // The annotation is rejected AND the unwrap still fires.
+    let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"allow"), "{rules:?}");
+    assert!(rules.contains(&"no-panic"), "{rules:?}");
+}
+
+#[test]
+fn allow_for_the_wrong_rule_does_not_suppress() {
+    let src = r#"
+pub fn f(x: Option<u8>) -> u8 {
+    // sos-lint: allow(no-wallclock) reason="fixture: names the wrong rule"
+    x.unwrap()
+}
+"#;
+    let report = lint(src);
+    let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+    // The unwrap fires, and the allow is flagged as suppressing nothing.
+    assert!(rules.contains(&"no-panic"), "{rules:?}");
+    assert!(rules.contains(&"allow"), "{rules:?}");
+}
+
+#[test]
+fn unused_allow_is_a_finding() {
+    let src = r#"
+pub fn f(x: u8) -> u8 {
+    // sos-lint: allow(no-panic) reason="fixture: nothing to suppress"
+    x + 1
+}
+"#;
+    let report = lint(src);
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].rule, "allow");
+    assert!(report.findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn unknown_rule_name_is_malformed() {
+    let src = r#"
+pub fn f(x: Option<u8>) -> u8 {
+    // sos-lint: allow(no-such-rule) reason="fixture: bogus rule id"
+    x.unwrap()
+}
+"#;
+    let report = lint(src);
+    let allow_finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "allow")
+        .expect("a finding for the bad annotation");
+    assert!(
+        allow_finding.message.contains("unknown rule"),
+        "{}",
+        allow_finding.message
+    );
+}
+
+#[test]
+fn one_allow_can_name_multiple_rules() {
+    let src = r#"
+pub fn f(arr: [u8; 8], data: &[u8]) -> Vec<u8> {
+    let n = u64::from_le_bytes(arr) as usize;
+    // sos-lint: allow(no-unbounded-prealloc, no-narrow-cast) reason="fixture: both rules on one line"
+    let mut v = Vec::with_capacity(n); let c = data.len() as u16;
+    v.push(c as u8);
+    v
+}
+"#;
+    let report = lint_source("crates/core/src/sync.rs", src, &Config::sos_defaults());
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert_eq!(report.allows[0].suppressed, 2);
+}
+
+#[test]
+fn doc_comments_mentioning_the_syntax_are_ignored() {
+    let src = r#"
+/// Write `// sos-lint: allow(no-panic) reason="..."` above the line.
+pub fn f(x: u8) -> u8 {
+    x + 1
+}
+"#;
+    let report = lint(src);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert!(report.allows.is_empty());
+}

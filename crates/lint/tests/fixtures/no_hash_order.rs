@@ -1,0 +1,15 @@
+//! R3 fixture: hash-keyed collections. Findings when linted under an
+//! ordered-output path (e.g. `record.rs`); clean under a path with no
+//! encoded output (the test lints this same source under both).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

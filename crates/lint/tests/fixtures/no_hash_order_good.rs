@@ -1,0 +1,14 @@
+//! R3 good fixture: ordered collections are always fine, even in
+//! ordered-output files.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

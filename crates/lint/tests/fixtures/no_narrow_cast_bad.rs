@@ -1,0 +1,11 @@
+//! R4 bad fixture: unchecked narrowing and unguarded float casts in a
+//! wire-format file.
+
+pub fn encode(data: &[u8], arr: [u8; 8], secs: f64, out: &mut Vec<u8>) {
+    let count = data.len() as u16;
+    out.extend_from_slice(&count.to_le_bytes());
+    let seq = u64::from_le_bytes(arr) as u32;
+    out.extend_from_slice(&seq.to_le_bytes());
+    let ms = (secs * 1000.0).round() as u64;
+    out.extend_from_slice(&ms.to_le_bytes());
+}

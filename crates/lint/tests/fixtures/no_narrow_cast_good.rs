@@ -1,0 +1,11 @@
+//! R4 good fixture: checked conversions and widening casts only.
+
+pub fn encode(data: &[u8], arr: [u8; 8], out: &mut Vec<u8>) -> Result<(), String> {
+    let count = u16::try_from(data.len()).map_err(|_| "too many entries".to_string())?;
+    out.extend_from_slice(&count.to_le_bytes());
+    let seq = u64::from_le_bytes(arr);
+    out.extend_from_slice(&seq.to_le_bytes());
+    let widened = count as u64;
+    out.extend_from_slice(&widened.to_le_bytes());
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! R1 bad fixture: panicking decode paths in a protocol crate.
+
+pub fn decode(bytes: &[u8]) -> u64 {
+    let first = bytes.first().unwrap();
+    let arr: [u8; 8] = bytes[..8].try_into().expect("len 8");
+    match *first {
+        0 => panic!("zero tag"),
+        1 => unreachable!("tag space is dense"),
+        2 => todo!("tag 2"),
+        3 => unimplemented!("tag 3"),
+        _ => u64::from_le_bytes(arr),
+    }
+}

@@ -1,0 +1,34 @@
+//! R1 good fixture: fallible decode, plus every way a panic token can
+//! legitimately appear without being production panic code.
+//!
+//! Call `.unwrap()` freely in doc prose like this — and even in doc
+//! examples:
+//!
+//! ```
+//! let x: Option<u8> = Some(1);
+//! x.unwrap();
+//! ```
+
+/// Decodes without panicking: `panic!` in this sentence is prose.
+pub fn decode(bytes: &[u8]) -> Result<u64, String> {
+    let src = bytes.get(..8).ok_or_else(|| "short input".to_string())?;
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(src);
+    let advice = "never panic!(in strings)"; // nor .unwrap() in comments
+    let _ = advice;
+    /* block comments may say .expect("whatever") too */
+    Ok(u64::from_le_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        super::decode(&[0; 8]).unwrap();
+        let v: Vec<u8> = Vec::new();
+        assert!(v.first().is_none());
+        if !v.is_empty() {
+            panic!("tests are exempt");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! R5 bad fixture: preallocation driven by a wire-read count with no
+//! visible cap.
+
+pub fn decode(arr: [u8; 8]) -> Vec<u64> {
+    let count = u64::from_le_bytes(arr) as usize;
+    let mut out = Vec::with_capacity(count);
+    out.reserve(count);
+    out.resize(count, 0);
+    out
+}

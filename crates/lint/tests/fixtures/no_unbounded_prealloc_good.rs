@@ -1,0 +1,12 @@
+//! R5 good fixture: every allocation shows its bound at the call.
+
+const MAX_ENTRIES: usize = 1024;
+
+pub fn decode(buf: &[u8], arr: [u8; 8]) -> Vec<u64> {
+    let count = u64::from_le_bytes(arr) as usize;
+    let mut out = Vec::with_capacity(count.min(MAX_ENTRIES));
+    let mut fixed: Vec<u8> = Vec::with_capacity(64);
+    fixed.reserve(buf.len());
+    out.resize(count.min(MAX_ENTRIES), 0);
+    out
+}

@@ -1,0 +1,13 @@
+//! R2 fixture: wall-clock reads. A finding in `sos-net`; clean in the
+//! exempt `sos-obs` (the test lints this same source under both
+//! paths).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,120 @@
+//! The lexer cases that break grep-based linting: tokens that *look*
+//! like violations but live in comments, strings, or char literals —
+//! and line accounting across multi-line literals.
+
+use sos_lint::lexer::{lex, TokKind};
+use sos_lint::{lint_source, Config};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text.to_string()))
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* outer /* inner */ still outer */ fn x() {}";
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokKind::BlockComment);
+    assert_eq!(toks[0].1, "/* outer /* inner */ still outer */");
+    assert_eq!(toks[1], (TokKind::Ident, "fn".to_string()));
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_slashes() {
+    // `//` and `"` inside a raw string must not start a comment or end
+    // the literal early; the fence is the hash count.
+    let src = r####"let s = r##"quote " slash // panic!()"## ;"####;
+    let toks = kinds(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].1.contains("panic!()"));
+    // No ident token for `panic` escaped the literal.
+    assert!(!toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "panic"));
+}
+
+#[test]
+fn line_comment_markers_inside_strings_stay_strings() {
+    let src = "let url = \"https://example.com\"; let n = 1;";
+    let toks = kinds(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.0 == TokKind::Str && t.1.contains("//example")));
+    assert!(!toks.iter().any(|t| t.0 == TokKind::LineComment));
+}
+
+#[test]
+fn char_literals_and_lifetimes_are_distinguished() {
+    let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let src = r#"let s = "she said \"unwrap()\" loudly";"#;
+    let toks = kinds(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].1.contains("unwrap"));
+}
+
+#[test]
+fn string_line_continuations_keep_line_numbers_exact() {
+    // Regression: a `\` + newline inside a string skipped the newline
+    // without counting it, shifting every later finding's line (first
+    // seen as wrong excerpts for inflate.rs findings). The string here
+    // spans lines 1-2, so `fn` sits on line 3 — an uncounted
+    // continuation would report 2.
+    let src = "let s = \"a\\\n   b\";\nfn f() {}\n";
+    let toks = lex(src);
+    let f = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == "fn")
+        .expect("fn token");
+    assert_eq!(f.line, 3);
+}
+
+#[test]
+fn multiline_strings_count_their_newlines() {
+    let src = "let s = \"line one\nline two\";\nlet t = 1;\n";
+    let toks = lex(src);
+    let t = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == "t")
+        .expect("t token");
+    assert_eq!(t.line, 3);
+}
+
+#[test]
+fn violations_in_comments_and_strings_never_fire() {
+    let src = r#"
+//! Doc prose: call .unwrap() or panic!("x") — or even Instant::now().
+
+/// More prose: HashMap::new(), SystemTime::now(), todo!().
+pub fn clean(n: u64) -> u64 {
+    // .expect("comment") and unreachable!() in a line comment
+    let s = "panic!(\"in a string\") and .unwrap() too";
+    /* Instant::now() in a block comment */
+    let _ = s;
+    n
+}
+"#;
+    // Linted as a file where every rule is in scope.
+    let report = lint_source("crates/core/src/sync.rs", src, &Config::sos_defaults());
+    assert!(report.is_clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn unterminated_input_degrades_gracefully() {
+    // The lexer must not panic or loop on code rustc would reject.
+    for src in ["let s = \"unterminated", "/* unterminated", "r#\"raw", "b'"] {
+        let _ = lex(src);
+    }
+}

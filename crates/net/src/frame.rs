@@ -96,6 +96,7 @@ const TAG_DISCONNECT: u8 = 6;
 
 fn put_cert(buf: &mut BytesMut, cert: &Certificate) {
     let bytes = cert.to_bytes();
+    // sos-lint: allow(no-narrow-cast) reason="certificates are fixed-layout (MAX_FIELD_LEN-bounded names + key + signature), a few hundred bytes, far under u16"
     buf.put_u16_le(bytes.len() as u16);
     buf.put_slice(&bytes);
 }
@@ -134,8 +135,15 @@ impl Frame {
                 buf.put_u8(TAG_ADVERTISEMENT);
                 buf.put_u32_le(ad.peer.0);
                 buf.put_slice(ad.user_id.as_bytes());
-                buf.put_u16_le(ad.summary.len() as u16);
-                for (user, latest) in &ad.summary {
+                // A summary holds one entry per known author; past the
+                // u16 wire field the encoder keeps the first 65535 in
+                // BTreeMap (deterministic) order rather than letting the
+                // cast silently corrupt the count. Dropped authors are
+                // re-requested at later encounters — sync still
+                // converges.
+                let count = u16::try_from(ad.summary.len()).unwrap_or(u16::MAX);
+                buf.put_u16_le(count);
+                for (user, latest) in ad.summary.iter().take(count as usize) {
                     buf.put_slice(user.as_bytes());
                     buf.put_u64_le(*latest);
                 }
@@ -159,6 +167,7 @@ impl Frame {
             Frame::Data { seq, ciphertext } => {
                 buf.put_u8(TAG_DATA);
                 buf.put_u64_le(*seq);
+                // sos-lint: allow(no-narrow-cast) reason="ciphertext is a sealed sync payload: MAX_PAYLOAD (64 KiB) plus framing and tag, far under u32"
                 buf.put_u32_le(ciphertext.len() as u32);
                 buf.put_slice(ciphertext);
             }

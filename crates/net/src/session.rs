@@ -135,7 +135,13 @@ impl SessionEndpoint {
                     return Err(NetError::UnexpectedHandshake);
                 }
                 let _span = sos_obs::profile::span("net/handshake");
-                let init = self.initiator.take().expect("connecting implies initiator");
+                // Connecting state implies a stored initiator; if the
+                // invariant is ever broken, fail the handshake instead
+                // of taking the process down.
+                let Some(init) = self.initiator.take() else {
+                    self.state = SessionState::Disconnected;
+                    return Err(NetError::UnexpectedHandshake);
+                };
                 match init.finish(identity, &resp, now_secs) {
                     Ok((crypto, peer_cert)) => {
                         self.crypto = Some(crypto);

@@ -192,7 +192,7 @@ impl DeliveryRecorder {
     }
 
     /// Registers that `followee` published a message `follower` wants.
-    pub fn expect(&mut self, follower: usize, followee: usize) {
+    pub fn expect_delivery(&mut self, follower: usize, followee: usize) {
         self.counts.entry((follower, followee)).or_insert((0, 0)).1 += 1;
     }
 
@@ -309,14 +309,14 @@ mod tests {
         let mut rec = DeliveryRecorder::new();
         // Subscription (1 follows 2): 4 expected, 3 delivered.
         for _ in 0..4 {
-            rec.expect(1, 2);
+            rec.expect_delivery(1, 2);
         }
         for _ in 0..3 {
             rec.delivered(1, 2);
         }
         // Subscription (3 follows 2): 2 expected, 2 delivered.
-        rec.expect(3, 2);
-        rec.expect(3, 2);
+        rec.expect_delivery(3, 2);
+        rec.expect_delivery(3, 2);
         rec.delivered(3, 2);
         rec.delivered(3, 2);
         let ratios = rec.ratios();

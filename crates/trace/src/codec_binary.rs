@@ -75,7 +75,9 @@ fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, TraceError> {
     let end = pos.checked_add(8).ok_or(TraceError::Truncated)?;
     let bytes = buf.get(*pos..end).ok_or(TraceError::Truncated)?;
     *pos = end;
-    Ok(f64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(bytes);
+    Ok(f64::from_le_bytes(arr))
 }
 
 /// Serializes a trace to the compact binary format.
@@ -136,7 +138,7 @@ pub fn from_binary(buf: &[u8]) -> Result<ContactTrace, TraceError> {
         if nodes > buf.len().saturating_sub(pos) {
             return Err(TraceError::Truncated);
         }
-        let mut labels = Vec::with_capacity(nodes);
+        let mut labels = Vec::with_capacity(nodes.min(buf.len()));
         for _ in 0..nodes {
             let len = get_varint(buf, &mut pos)? as usize;
             let end = pos.checked_add(len).ok_or(TraceError::Truncated)?;
@@ -161,7 +163,7 @@ pub fn from_binary(buf: &[u8]) -> Result<ContactTrace, TraceError> {
     if count > buf.len().saturating_sub(pos) / 11 {
         return Err(TraceError::Truncated);
     }
-    let mut events = Vec::with_capacity(count);
+    let mut events = Vec::with_capacity(count.min(buf.len() / 11));
     let mut t = 0u64;
     for _ in 0..count {
         let dt = get_varint(buf, &mut pos)?;

@@ -51,6 +51,7 @@ pub(crate) fn exact_millis_from_secs(secs: f64) -> Option<u64> {
     if !(ms.is_finite() && (0.0..=MAX_EXACT_MS).contains(&ms)) {
         return None;
     }
+    // sos-lint: allow(no-narrow-cast) reason="this IS the sanctioned guard: ms proven finite and within 0..=2^53 directly above"
     Some(ms.round() as u64)
 }
 

@@ -274,11 +274,16 @@ pub fn gunzip(bytes: &[u8]) -> Result<Vec<u8>, TraceError> {
         return Err(err("trailing garbage after final deflate block"));
     }
     let trailer = &bytes[bytes.len() - 8..];
-    let want_crc = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
-    let want_isize = u32::from_le_bytes(trailer[4..].try_into().expect("4 bytes"));
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&trailer[..4]);
+    let mut isize_bytes = [0u8; 4];
+    isize_bytes.copy_from_slice(&trailer[4..]);
+    let want_crc = u32::from_le_bytes(crc_bytes);
+    let want_isize = u32::from_le_bytes(isize_bytes);
     if crc32(&out) != want_crc {
         return Err(err("CRC-32 mismatch"));
     }
+    // sos-lint: allow(no-narrow-cast) reason="gzip ISIZE is defined as the input size mod 2^32 (RFC 1952 §2.3.1); the wrapping comparison is the spec"
     if out.len() as u32 != want_isize {
         return Err(err("ISIZE mismatch"));
     }
@@ -297,12 +302,14 @@ pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
     }
     while let Some(chunk) = chunks.next() {
         out.push(u8::from(chunks.peek().is_none())); // BFINAL, BTYPE=00
+                                                     // sos-lint: allow(no-narrow-cast) reason="chunks(0xffff) bounds every chunk to the u16 stored-block limit"
         let len = chunk.len() as u16;
         out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&(!len).to_le_bytes());
         out.extend_from_slice(chunk);
     }
     out.extend_from_slice(&crc32(data).to_le_bytes());
+    // sos-lint: allow(no-narrow-cast) reason="gzip ISIZE is defined as the input size mod 2^32 (RFC 1952 §2.3.1); wrapping is the spec"
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
     out
 }

@@ -81,7 +81,21 @@ pub fn import_str(text: &str, config: &RealityConfig) -> Result<ImportedCorpus, 
             ),
         });
     }
-    let merge_gap_ms = ((interval_ms as f64) * config.merge_slack).round() as u64;
+    let gap = (interval_ms as f64) * config.merge_slack;
+    // A NaN or negative merge_slack must be a config error: the old
+    // unguarded cast saturated NaN to 0 and huge products to u64::MAX,
+    // silently merging every sighting into one contact.
+    if !gap.is_finite() || gap < 0.0 {
+        return Err(TraceError::Parse {
+            line: 0,
+            reason: format!(
+                "merge_slack {} yields an invalid merge gap",
+                config.merge_slack
+            ),
+        });
+    }
+    // sos-lint: allow(no-narrow-cast) reason="guarded: gap proven finite and non-negative above; saturation needs > 2^64 ms (585 million years)"
+    let merge_gap_ms = gap.round() as u64;
 
     // Sightings per (unordered) pair, in original id order.
     let mut sightings: BTreeMap<(String, String), Vec<(u64, usize)>> = BTreeMap::new();

@@ -118,7 +118,9 @@ impl NodeIdMap {
         }
         let mut labels: Vec<String> = ids.into_iter().map(str::to_string).collect();
         if labels.iter().all(|id| id.parse::<u64>().is_ok()) {
-            labels.sort_by_key(|id| id.parse::<u64>().expect("checked numeric"));
+            // Every id was just verified numeric; the fallback arm is
+            // unreachable and only exists to keep the sort total.
+            labels.sort_by_key(|id| id.parse::<u64>().unwrap_or(u64::MAX));
         }
         let index = labels
             .iter()
@@ -198,8 +200,11 @@ pub fn sanitize(
     //    event — full-size corpora run to millions of lines.
     let interim = NodeIdMap::from_events(&raw);
     let key = |ev: &RawEvent| -> (usize, usize) {
-        let x = interim.index_of(&ev.a).expect("id in interim map");
-        let y = interim.index_of(&ev.b).expect("id in interim map");
+        // The interim map was built from these exact events one
+        // statement above, so lookups cannot miss; usize::MAX keys
+        // would simply collapse into one (nonexistent) pair.
+        let x = interim.index_of(&ev.a).unwrap_or(usize::MAX);
+        let y = interim.index_of(&ev.b).unwrap_or(usize::MAX);
         (x.min(y), x.max(y))
     };
     let mut open: BTreeMap<(usize, usize), f64> = BTreeMap::new();
@@ -250,8 +255,9 @@ pub fn sanitize(
     let events: Vec<ContactEvent> = clean
         .iter()
         .map(|ev| {
-            let x = map.index_of(&ev.a).expect("id in map");
-            let y = map.index_of(&ev.b).expect("id in map");
+            // Built from `clean` itself directly above — cannot miss.
+            let x = map.index_of(&ev.a).unwrap_or(usize::MAX);
+            let y = map.index_of(&ev.b).unwrap_or(usize::MAX);
             ContactEvent {
                 time: SimTime::from_millis(ev.time_ms),
                 a: x.min(y),

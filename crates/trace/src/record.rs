@@ -9,7 +9,7 @@
 use crate::error::TraceError;
 use sos_sim::world::{collapse_intervals, ContactEvent, ContactInterval, ContactPhase};
 use sos_sim::{EncounterSource, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A recorded (or synthesized, or imported) encounter timeline: every
 /// pairwise contact transition of a node population over a window,
@@ -75,7 +75,7 @@ impl ContactTrace {
             }
         }
         let mut last_time = SimTime::ZERO;
-        let mut open: HashMap<(usize, usize), bool> = HashMap::new();
+        let mut open: BTreeMap<(usize, usize), bool> = BTreeMap::new();
         for (index, ev) in events.iter().enumerate() {
             if ev.a >= ev.b {
                 return Err(TraceError::UnorderedPair { index });

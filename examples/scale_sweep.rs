@@ -22,6 +22,9 @@ use sos::sim::mobility::random_waypoint::RandomWaypoint;
 use sos::sim::{ContactSource, SimDuration, SimTime};
 use std::time::Instant;
 
+// Wall-clock is the point here: this example reports real elapsed
+// time of the sweep and the grid kernel, not simulated behavior.
+#[allow(clippy::disallowed_methods)]
 fn main() {
     // Part 1: the scheme × seed sweep (middleware end-to-end).
     let base = small_test_config(1, SchemeKind::InterestBased);

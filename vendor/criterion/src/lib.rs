@@ -14,6 +14,11 @@
 //! hundreds of milliseconds of sampling, good enough for the
 //! order-of-magnitude comparisons the workspace's benches make.
 
+// A benchmark harness is *the* legitimate wall-clock consumer; the
+// workspace-wide `disallowed-methods` ban on `Instant::now` (replay
+// determinism, see clippy.toml) does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
