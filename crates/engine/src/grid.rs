@@ -95,6 +95,12 @@ impl UniformGrid {
     }
 
     /// The nodes in the 3×3 cell block around `p`.
+    ///
+    /// Convenience wrapper over [`UniformGrid::neighbors_into`] that
+    /// allocates a fresh `Vec` per call. Every hot-path query (the
+    /// single-loop and sharded kernels) goes through `neighbors_into`
+    /// with a reused scratch buffer; this variant is for tests and
+    /// one-off queries only.
     pub fn neighbors(&self, p: Point) -> Vec<usize> {
         let mut out = Vec::new();
         self.neighbors_into(p, &mut out);

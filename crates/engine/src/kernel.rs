@@ -120,7 +120,11 @@ impl GridContactEngine {
             }
         };
         if next <= end {
-            queue.schedule(next, node);
+            // `next` is strictly after `now`, the time of the wake being
+            // processed (= the queue clock), so this cannot fail.
+            queue
+                .schedule(next, node)
+                .expect("re-index wakes are scheduled in the future");
         }
     }
 }

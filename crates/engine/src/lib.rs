@@ -17,6 +17,10 @@
 //!   re-index events and *skips its dormant spans entirely* (the paper
 //!   notes nodes are stationary 5–8 h/day), so work per tick is
 //!   proportional to nodes actually moving times local density.
+//! * [`shard`] — [`ShardedContactEngine`], the kernel partitioned into
+//!   K strips stepped by scoped threads with an epoch-barrier
+//!   boundary-handoff protocol; its merged stream is byte-identical to
+//!   the single loop, so one world can use every core.
 //! * [`runner`] — a scoped-thread batch runner that executes many
 //!   independent scenario replicas in parallel and returns their
 //!   results in order, for scheme-comparison sweeps.
@@ -45,7 +49,9 @@
 pub mod grid;
 pub mod kernel;
 pub mod runner;
+pub mod shard;
 
 pub use grid::UniformGrid;
 pub use kernel::GridContactEngine;
 pub use runner::run_replicas;
+pub use shard::{ShardConfig, ShardedContactEngine};

@@ -1,0 +1,677 @@
+//! The sharded contact kernel: one world stepped across all cores.
+//!
+//! [`GridContactEngine`](crate::kernel::GridContactEngine) is a single
+//! event-driven loop; [`ShardedContactEngine`] runs the *same*
+//! computation partitioned into K vertical strips of the plane, each
+//! strip stepped by its own worker with its own event queue, local
+//! uniform grid, and cache-linear struct-of-arrays node state
+//! ([`TrajectorySet`]). The merged `ContactUp`/`ContactDown` stream is
+//! **byte-identical** to the single-loop kernel — the property tests in
+//! `tests/shard_equivalence.rs` assert it event for event, bit for bit.
+//!
+//! # Epochs and the boundary-handoff protocol
+//!
+//! Time is divided into **epochs** of `epoch_ticks` discovery ticks,
+//! aligned to the global tick grid. Each epoch runs three deterministic
+//! steps:
+//!
+//! 1. **Partition.** Nodes are assigned an *owner* shard by sampled
+//!    x-quantiles of their current positions (so strips track the
+//!    population as it commutes). For every node the kernel computes
+//!    its x-**extent** over the epoch (positions at both epoch
+//!    boundaries plus every waypoint inside the window); a shard's
+//!    **reach** is the hull of its owned extents inflated by the radio
+//!    range `r`. A shard *hosts* every node whose extent intersects its
+//!    reach — owned nodes plus a halo of potential contact partners.
+//!    This is the handoff: nodes crossing a strip edge (or within a
+//!    halo of it) are handed to every shard that might see them.
+//! 2. **Parallel step.** Each worker replays the event-driven kernel
+//!    over its hosted set for the epoch window, seeded with the open
+//!    contacts among its hosted nodes. A pair `(a, b)` (`a < b`) is
+//!    *emitted* only by the shard owning `a`; other shards hosting both
+//!    compute the identical transitions silently. Because the owner's
+//!    reach covers `extent(a) ± r`, any node able to touch `a` during
+//!    the epoch is hosted there — so every transition is emitted
+//!    exactly once.
+//! 3. **Barrier merge.** Per-shard streams (each already in `(time, a,
+//!    b)` order) are merged by a deterministic sort on `(time, a, b)` —
+//!    never by map iteration — and applied to the global open-contact
+//!    adjacency (sorted `Vec`s, no hashing) and stored positions,
+//!    which seed the next epoch.
+//!
+//! # Why the streams are identical
+//!
+//! The single-loop kernel's stream is totally ordered by `(time, a,
+//! b)`: ticks advance monotonically and within a tick candidate pairs
+//! are sorted. Both kernels sample the same trajectories at the same
+//! tick grid with the same `f64` arithmetic ([`TrajectorySet`] mirrors
+//! `Trajectory::position_at` operation for operation), wake nodes by
+//! the same schedule, and a transition for `(a, b)` depends only on the
+//! two nodes' waypoints — so the owning shard reproduces exactly the
+//! transitions the single loop finds, and exactly-once emission plus
+//! the `(time, a, b)` merge reproduces the order.
+//!
+//! # Sizing K
+//!
+//! Each extra shard adds a halo of doubly-hosted nodes around its strip
+//! edges, so K should track physical cores, not go beyond them:
+//! `ShardConfig::default()` (`shards: 0`) resolves K to the available
+//! parallelism. Longer epochs amortize barrier cost but widen extents
+//! (more halo); the default of 32 ticks suits walking/driving speeds at
+//! city scale.
+
+use crate::grid::UniformGrid;
+use crate::runner::run_replicas;
+use sos_sim::mobility::soa::TrajectorySet;
+use sos_sim::mobility::trace::Trajectory;
+use sos_sim::world::{ContactEvent, ContactPhase, ContactSource};
+use sos_sim::{EventQueue, Point, SimDuration, SimTime};
+use std::cmp::Ordering;
+
+/// Sharding parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of shards (vertical strips); `0` = one per available
+    /// core.
+    pub shards: usize,
+    /// Epoch length in discovery ticks (at least 1). Longer epochs
+    /// amortize barrier cost; shorter ones shrink the halo.
+    pub epoch_ticks: u64,
+    /// Worker threads for the parallel phase; `0` = one per core.
+    pub threads: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 0,
+            epoch_ticks: 32,
+            threads: 0,
+        }
+    }
+}
+
+/// The sharded, epoch-barrier contact source.
+///
+/// Produces a contact stream byte-identical to
+/// [`GridContactEngine`](crate::kernel::GridContactEngine) for the same
+/// trajectories, range, and tick — for any shard count.
+#[derive(Clone, Debug)]
+pub struct ShardedContactEngine {
+    set: TrajectorySet,
+    range_m: f64,
+    tick: SimDuration,
+    config: ShardConfig,
+}
+
+impl ShardedContactEngine {
+    /// Creates an engine over struct-of-arrays trajectories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty, `range_m` is not positive, `tick` is
+    /// zero, or `config.epoch_ticks` is zero — the same constructor
+    /// contract as the single-loop kernel.
+    pub fn new(
+        set: TrajectorySet,
+        range_m: f64,
+        tick: SimDuration,
+        config: ShardConfig,
+    ) -> ShardedContactEngine {
+        assert!(set.node_count() > 0, "engine needs nodes");
+        assert!(range_m > 0.0, "range must be positive");
+        assert!(tick > SimDuration::ZERO, "tick must be positive");
+        assert!(config.epoch_ticks > 0, "epochs must be at least one tick");
+        ShardedContactEngine {
+            set,
+            range_m,
+            tick,
+            config,
+        }
+    }
+
+    /// Convenience constructor from per-node [`Trajectory`] values.
+    pub fn from_trajectories(
+        trajectories: &[Trajectory],
+        range_m: f64,
+        tick: SimDuration,
+        config: ShardConfig,
+    ) -> ShardedContactEngine {
+        ShardedContactEngine::new(
+            TrajectorySet::from_trajectories(trajectories),
+            range_m,
+            tick,
+            config,
+        )
+    }
+
+    /// The discovery tick.
+    pub fn tick(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// The sharding configuration.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// The node state the engine steps.
+    pub fn trajectory_set(&self) -> &TrajectorySet {
+        &self.set
+    }
+
+    /// The resolved shard count (`config.shards`, or one per available
+    /// core when 0).
+    pub fn shards(&self) -> usize {
+        if self.config.shards > 0 {
+            self.config.shards
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Streams the contact events of `[start, end]` epoch by epoch.
+    ///
+    /// `f` is called once per epoch with that epoch's merged, globally
+    /// ordered slice of the stream; the concatenation over all epochs
+    /// is byte-identical to
+    /// `GridContactEngine::contact_events(start, end)`. Use this
+    /// instead of [`ContactSource::contact_events`] when the full
+    /// stream would not fit in memory (a 1M-node day is tens of
+    /// millions of events).
+    pub fn for_each_epoch(&self, start: SimTime, end: SimTime, mut f: impl FnMut(&[ContactEvent])) {
+        let _span = sos_obs::profile::span("engine/sharded_contact_events");
+        if start > end {
+            return;
+        }
+        let n = self.set.node_count();
+        let k = self.shards();
+        let epoch_dur = SimDuration::from_millis(self.tick.as_millis() * self.config.epoch_ticks);
+
+        // Stored positions at the current epoch boundary. At every tick
+        // boundary the single-loop kernel's stored positions equal the
+        // sampled positions, so maintaining these across epochs (from
+        // the workers' write-backs) reproduces its state exactly.
+        let mut positions: Vec<Point> = (0..n).map(|i| self.set.position_at(i, start)).collect();
+        // Global open-contact adjacency: sorted partner lists.
+        let mut open: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        let mut epoch_start = start;
+        let mut initial = true;
+        loop {
+            let target = epoch_start + epoch_dur;
+            let epoch_end = if target > end { end } else { target };
+
+            // -- Partition: owners, extents, reaches, hosted sets. --
+            let boundaries = owner_boundaries(&positions, k);
+            let owner: Vec<u32> = positions
+                .iter()
+                .map(|p| owner_of(&boundaries, p.x))
+                .collect();
+            let extents = self.parallel_extents(k, epoch_start, epoch_end);
+            let mut reach: Vec<(f64, f64)> = vec![(f64::INFINITY, f64::NEG_INFINITY); k];
+            for (i, &(lo, hi)) in extents.iter().enumerate() {
+                let r = &mut reach[owner[i] as usize];
+                r.0 = r.0.min(lo);
+                r.1 = r.1.max(hi);
+            }
+            for r in &mut reach {
+                r.0 -= self.range_m;
+                r.1 += self.range_m;
+            }
+            let mut hosted: Vec<Vec<u32>> = vec![Vec::new(); k];
+            for (i, &(lo, hi)) in extents.iter().enumerate() {
+                for (s, r) in reach.iter().enumerate() {
+                    if lo <= r.1 && hi >= r.0 {
+                        hosted[s].push(i as u32);
+                    }
+                }
+            }
+
+            // -- Parallel step. --
+            let ctx = EpochCtx {
+                set: &self.set,
+                positions: &positions,
+                open: &open,
+                owner: &owner,
+                range_m: self.range_m,
+                tick: self.tick,
+                anchor: start,
+                epoch_start,
+                epoch_end,
+                initial,
+            };
+            let outputs = run_replicas(hosted, self.config.threads, |shard, hosted_s| {
+                run_shard(&ctx, shard as u32, &hosted_s)
+            });
+
+            // -- Barrier: deterministic merge + handoff state. --
+            let mut merged: Vec<ContactEvent> = Vec::new();
+            for out in &outputs {
+                merged.extend_from_slice(&out.events);
+            }
+            // Every (time, a, b) key is unique (one transition per pair
+            // per tick, emitted by exactly one shard), so this sort is a
+            // total, deterministic order — no map iteration anywhere.
+            merged.sort_unstable_by_key(|e| (e.time, e.a, e.b));
+            for ev in &merged {
+                match ev.phase {
+                    ContactPhase::Up => adj_insert(&mut open, ev.a, ev.b),
+                    ContactPhase::Down => adj_remove(&mut open, ev.a, ev.b),
+                }
+            }
+            for out in &outputs {
+                for &(node, p) in &out.moved {
+                    positions[node as usize] = p;
+                }
+            }
+            f(&merged);
+
+            if epoch_end >= end {
+                return;
+            }
+            epoch_start = epoch_end;
+            initial = false;
+        }
+    }
+
+    /// Per-node x-extents over the epoch window, computed in parallel
+    /// chunks.
+    fn parallel_extents(&self, k: usize, t0: SimTime, t1: SimTime) -> Vec<(f64, f64)> {
+        let n = self.set.node_count();
+        let chunk = n.div_ceil(k.max(1));
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk.max(1))
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+        run_replicas(ranges, self.config.threads, |_, (lo, hi)| {
+            (lo..hi)
+                .map(|i| self.set.extent_x(i, t0, t1))
+                .collect::<Vec<(f64, f64)>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+impl ContactSource for ShardedContactEngine {
+    fn node_count(&self) -> usize {
+        self.set.node_count()
+    }
+
+    fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    fn position(&self, node: usize, t: SimTime) -> Point {
+        self.set.position_at(node, t)
+    }
+
+    fn contact_events(&self, start: SimTime, end: SimTime) -> Vec<ContactEvent> {
+        let mut events = Vec::new();
+        self.for_each_epoch(start, end, |epoch| events.extend_from_slice(epoch));
+        events
+    }
+}
+
+/// Strip boundaries from sampled x-quantiles of the current positions.
+/// Sampling (stride so at most ~4096 points are sorted) keeps the
+/// partition adaptive to the population drift at negligible cost, and
+/// `total_cmp` keeps it total — and therefore deterministic — even for
+/// pathological coordinates.
+fn owner_boundaries(positions: &[Point], k: usize) -> Vec<f64> {
+    if k <= 1 {
+        return Vec::new();
+    }
+    let stride = (positions.len() / 4096).max(1);
+    let mut xs: Vec<f64> = positions.iter().step_by(stride).map(|p| p.x).collect();
+    xs.sort_unstable_by(f64::total_cmp);
+    (1..k).map(|s| xs[s * xs.len() / k]).collect()
+}
+
+/// The owner shard of a node at `x`: the number of strip boundaries at
+/// or below it.
+fn owner_of(boundaries: &[f64], x: f64) -> u32 {
+    boundaries.partition_point(|b| b.total_cmp(&x) != Ordering::Greater) as u32
+}
+
+fn adj_insert(adj: &mut [Vec<u32>], a: usize, b: usize) {
+    if let Err(i) = adj[a].binary_search(&(b as u32)) {
+        adj[a].insert(i, b as u32);
+    }
+    if let Err(i) = adj[b].binary_search(&(a as u32)) {
+        adj[b].insert(i, a as u32);
+    }
+}
+
+fn adj_remove(adj: &mut [Vec<u32>], a: usize, b: usize) {
+    if let Ok(i) = adj[a].binary_search(&(b as u32)) {
+        adj[a].remove(i);
+    }
+    if let Ok(i) = adj[b].binary_search(&(a as u32)) {
+        adj[b].remove(i);
+    }
+}
+
+/// Read-only state shared by all shard workers of one epoch.
+struct EpochCtx<'a> {
+    set: &'a TrajectorySet,
+    positions: &'a [Point],
+    open: &'a [Vec<u32>],
+    owner: &'a [u32],
+    range_m: f64,
+    tick: SimDuration,
+    /// Global tick-grid anchor (the window start).
+    anchor: SimTime,
+    epoch_start: SimTime,
+    epoch_end: SimTime,
+    /// Whether this epoch opens the window (emit the initial full
+    /// scan at `anchor`).
+    initial: bool,
+}
+
+/// One worker's epoch result.
+struct ShardOutput {
+    /// Emitted (owned-pair) events, in `(time, a, b)` order.
+    events: Vec<ContactEvent>,
+    /// Owned nodes whose stored position changed, with their position
+    /// at the epoch end — the handoff write-back.
+    moved: Vec<(u32, Point)>,
+}
+
+/// Replays the event-driven kernel over `hosted` for one epoch,
+/// emitting only the pairs this shard owns. Mirrors
+/// `GridContactEngine::contact_events` exactly: same initial scan, same
+/// wake schedule, same candidate generation, same transition logic.
+fn run_shard(ctx: &EpochCtx<'_>, shard: u32, hosted: &[u32]) -> ShardOutput {
+    let mut out = ShardOutput {
+        events: Vec::new(),
+        moved: Vec::new(),
+    };
+    let h = hosted.len();
+    if h == 0 {
+        return out;
+    }
+    let mut pos_l: Vec<Point> = hosted.iter().map(|&g| ctx.positions[g as usize]).collect();
+    let mut grid = UniformGrid::new(h, ctx.range_m);
+    for (l, p) in pos_l.iter().enumerate() {
+        grid.update(l, *p);
+    }
+    // Local open adjacency (local indices), seeded with the global open
+    // pairs whose endpoints are both hosted here. A pair with an
+    // unhosted endpoint cannot be owned by this shard, so dropping it
+    // is exact. `hosted` ascending makes local order global order.
+    let mut open_l: Vec<Vec<u32>> = vec![Vec::new(); h];
+    for (la, &ga) in hosted.iter().enumerate() {
+        for &gb in &ctx.open[ga as usize] {
+            if let Ok(lb) = hosted.binary_search(&gb) {
+                open_l[la].push(lb as u32);
+            }
+        }
+    }
+
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut scratch: Vec<usize> = Vec::new();
+
+    if ctx.initial {
+        // Initial tick at the window anchor: every in-range hosted pair
+        // comes up; only owned pairs are emitted.
+        for (la, p) in pos_l.iter().enumerate() {
+            scratch.clear();
+            grid.neighbors_into(*p, &mut scratch);
+            for &lb in &scratch {
+                if lb > la {
+                    pairs.push((la as u32, lb as u32));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &(la, lb) in &pairs {
+            let d = pos_l[la as usize].distance(&pos_l[lb as usize]);
+            if d <= ctx.range_m {
+                adj_insert(&mut open_l, la as usize, lb as usize);
+                let ga = hosted[la as usize] as usize;
+                if ctx.owner[ga] == shard {
+                    out.events.push(ContactEvent {
+                        time: ctx.anchor,
+                        a: ga,
+                        b: hosted[lb as usize] as usize,
+                        phase: ContactPhase::Up,
+                        distance_m: d,
+                    });
+                }
+            }
+        }
+    }
+
+    // Per-node wake-ups, re-derived at the epoch boundary. For every
+    // hosted node this yields exactly the wake times the single-loop
+    // kernel would schedule inside this window (see module docs).
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for (l, &g) in hosted.iter().enumerate() {
+        schedule_next(ctx, &mut queue, g as usize, l, ctx.epoch_start);
+    }
+
+    let mut moved_l: Vec<usize> = Vec::new();
+    while let Some(now) = queue.peek_time() {
+        moved_l.clear();
+        while queue.peek_time() == Some(now) {
+            let (_, l) = queue.pop().expect("peeked event");
+            let g = hosted[l] as usize;
+            let p = ctx.set.position_at(g, now);
+            if p != pos_l[l] {
+                pos_l[l] = p;
+                grid.update(l, p);
+                moved_l.push(l);
+            }
+            schedule_next(ctx, &mut queue, g, l, now);
+        }
+        if moved_l.is_empty() {
+            continue;
+        }
+        pairs.clear();
+        for &a in &moved_l {
+            scratch.clear();
+            grid.neighbors_into(pos_l[a], &mut scratch);
+            for &b in &scratch {
+                if b != a {
+                    pairs.push((a.min(b) as u32, a.max(b) as u32));
+                }
+            }
+            for &b in &open_l[a] {
+                let b = b as usize;
+                pairs.push((a.min(b) as u32, a.max(b) as u32));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &(la, lb) in &pairs {
+            let (la, lb) = (la as usize, lb as usize);
+            let d = pos_l[la].distance(&pos_l[lb]);
+            let now_up = d <= ctx.range_m;
+            let was_up = open_l[la].binary_search(&(lb as u32)).is_ok();
+            if now_up != was_up {
+                if now_up {
+                    adj_insert(&mut open_l, la, lb);
+                } else {
+                    adj_remove(&mut open_l, la, lb);
+                }
+                let ga = hosted[la] as usize;
+                if ctx.owner[ga] == shard {
+                    out.events.push(ContactEvent {
+                        time: now,
+                        a: ga,
+                        b: hosted[lb] as usize,
+                        phase: if now_up {
+                            ContactPhase::Up
+                        } else {
+                            ContactPhase::Down
+                        },
+                        distance_m: d,
+                    });
+                }
+            }
+        }
+    }
+
+    // Handoff write-back: final stored positions of owned nodes that
+    // moved this epoch.
+    for (l, &g) in hosted.iter().enumerate() {
+        let g = g as usize;
+        if ctx.owner[g] == shard && pos_l[l] != ctx.positions[g] {
+            out.moved.push((g as u32, pos_l[l]));
+        }
+    }
+    out
+}
+
+/// The smallest tick-aligned time at or after `at` on the grid anchored
+/// at `anchor`. Same arithmetic as the single-loop kernel.
+fn next_tick_at_or_after(anchor: SimTime, tick: SimDuration, at: SimTime) -> SimTime {
+    let tick = tick.as_millis();
+    let steps = (at.as_millis() - anchor.as_millis()).div_ceil(tick);
+    SimTime::from_millis(anchor.as_millis() + steps * tick)
+}
+
+/// Schedules hosted node `local`'s next wake after `now`: the next tick
+/// while its trajectory is moving, the first tick after a waiting span,
+/// or never once parked at its final waypoint. Mirrors
+/// `GridContactEngine::schedule_next` on the struct-of-arrays storage;
+/// wakes beyond the epoch end are dropped and re-derived — identically
+/// — at the next epoch boundary.
+fn schedule_next(
+    ctx: &EpochCtx<'_>,
+    queue: &mut EventQueue<usize>,
+    global: usize,
+    local: usize,
+    now: SimTime,
+) {
+    let times = ctx.set.times(global);
+    let last = times[times.len() - 1];
+    if now >= last {
+        return; // parked at the final waypoint forever
+    }
+    let idx = times.partition_point(|wt| *wt <= now);
+    let next = if idx == 0 {
+        next_tick_at_or_after(ctx.anchor, ctx.tick, times[0])
+    } else {
+        let p0 = ctx.set.point(global, idx - 1);
+        let p1 = ctx.set.point(global, idx);
+        if p0 == p1 {
+            next_tick_at_or_after(ctx.anchor, ctx.tick, times[idx])
+        } else {
+            now + ctx.tick
+        }
+    };
+    if next <= ctx.epoch_end {
+        // `next` is strictly after `now` (= at or after the queue
+        // clock), so this cannot fail.
+        queue
+            .schedule(next, local)
+            .expect("re-index wakes are scheduled in the future");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GridContactEngine;
+
+    fn crossing() -> Vec<Trajectory> {
+        vec![
+            Trajectory::new(vec![
+                (SimTime::ZERO, Point::new(0.0, 0.0)),
+                (SimTime::from_secs(1000), Point::new(1000.0, 0.0)),
+            ])
+            .expect("valid"),
+            Trajectory::new(vec![
+                (SimTime::ZERO, Point::new(1000.0, 0.0)),
+                (SimTime::from_secs(1000), Point::new(0.0, 0.0)),
+            ])
+            .expect("valid"),
+            Trajectory::stationary(Point::new(500.0, 10.0)),
+        ]
+    }
+
+    fn config(shards: usize, epoch_ticks: u64) -> ShardConfig {
+        ShardConfig {
+            shards,
+            epoch_ticks,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn matches_single_loop_kernel_exactly() {
+        let tick = SimDuration::from_secs(10);
+        let end = SimTime::from_secs(1000);
+        let single = GridContactEngine::new(crossing(), 60.0, tick);
+        let expected = ContactSource::contact_events(&single, SimTime::ZERO, end);
+        assert!(!expected.is_empty());
+        for shards in [1, 2, 4] {
+            for epoch_ticks in [1, 7, 1000] {
+                let sharded = ShardedContactEngine::from_trajectories(
+                    &crossing(),
+                    60.0,
+                    tick,
+                    config(shards, epoch_ticks),
+                );
+                assert_eq!(
+                    ContactSource::contact_events(&sharded, SimTime::ZERO, end),
+                    expected,
+                    "shards {shards}, epoch_ticks {epoch_ticks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_streaming_concatenates_to_the_full_stream() {
+        let tick = SimDuration::from_secs(10);
+        let end = SimTime::from_secs(1000);
+        let engine =
+            ShardedContactEngine::from_trajectories(&crossing(), 60.0, tick, config(2, 16));
+        let full = ContactSource::contact_events(&engine, SimTime::ZERO, end);
+        let mut streamed = Vec::new();
+        let mut epochs = 0;
+        engine.for_each_epoch(SimTime::ZERO, end, |chunk| {
+            streamed.extend_from_slice(chunk);
+            epochs += 1;
+        });
+        assert_eq!(streamed, full);
+        assert!(epochs > 1, "window should span multiple epochs");
+    }
+
+    #[test]
+    fn owner_partition_is_total_and_ordered() {
+        let positions: Vec<Point> = (0..100).map(|i| Point::new(i as f64 * 3.0, 0.0)).collect();
+        let boundaries = owner_boundaries(&positions, 4);
+        assert_eq!(boundaries.len(), 3);
+        let owners: Vec<u32> = positions
+            .iter()
+            .map(|p| owner_of(&boundaries, p.x))
+            .collect();
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(owners, sorted, "owners are monotone in x");
+        assert!(owners.iter().all(|&s| s < 4));
+        assert_eq!(owner_boundaries(&positions, 1), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn adjacency_helpers_keep_lists_sorted() {
+        let mut adj = vec![Vec::new(); 4];
+        adj_insert(&mut adj, 2, 0);
+        adj_insert(&mut adj, 2, 3);
+        adj_insert(&mut adj, 2, 1);
+        adj_insert(&mut adj, 2, 1); // duplicate is a no-op
+        assert_eq!(adj[2], vec![0, 1, 3]);
+        assert_eq!(adj[1], vec![2]);
+        adj_remove(&mut adj, 2, 1);
+        adj_remove(&mut adj, 2, 1); // absent is a no-op
+        assert_eq!(adj[2], vec![0, 3]);
+        assert!(adj[1].is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! The sharded kernel's correctness contract: on any trajectory set,
+//! any shard count, and any epoch length, [`ShardedContactEngine`]
+//! emits a contact stream *byte-identical* to the single-loop
+//! [`GridContactEngine`] — same pairs, same tick times, same distances.
+//!
+//! The cases here deliberately stress the boundary-handoff protocol:
+//! nodes oscillating back and forth across shard boundaries (ownership
+//! churn every epoch), nodes parked *exactly on* a boundary coordinate
+//! (quantile boundaries are sampled from node positions, so exact ties
+//! happen), and pairs separated by almost exactly the radio range
+//! across a boundary (the halo width).
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sos_engine::{GridContactEngine, ShardConfig, ShardedContactEngine};
+use sos_sim::geo::{Bounds, Point};
+use sos_sim::mobility::random_waypoint::RandomWaypoint;
+use sos_sim::mobility::trace::Trajectory;
+use sos_sim::{ContactSource, SimDuration, SimTime};
+
+fn assert_sharded_matches(
+    trajectories: &[Trajectory],
+    range_m: f64,
+    tick: SimDuration,
+    end: SimTime,
+    shards: usize,
+    epoch_ticks: u64,
+) {
+    let single = GridContactEngine::new(trajectories.to_vec(), range_m, tick);
+    let sharded = ShardedContactEngine::from_trajectories(
+        trajectories,
+        range_m,
+        tick,
+        ShardConfig {
+            shards,
+            epoch_ticks,
+            threads: 0,
+        },
+    );
+    let expected = ContactSource::contact_events(&single, SimTime::ZERO, end);
+    let got = ContactSource::contact_events(&sharded, SimTime::ZERO, end);
+    assert_eq!(
+        expected, got,
+        "sharded stream diverged (K={shards}, epoch_ticks={epoch_ticks}, range {range_m} m)"
+    );
+}
+
+/// Nodes that oscillate horizontally forever: every epoch hands some
+/// of them to a different owner.
+fn oscillating_population(seed: u64, nodes: usize, end: SimTime) -> Vec<Trajectory> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..nodes)
+        .map(|_| {
+            let x0 = rng.gen_range(0.0..600.0);
+            let amp = rng.gen_range(10.0..300.0);
+            let y = rng.gen_range(0.0..120.0);
+            let leg = rng.gen_range(45u64..240);
+            let mut points = vec![(SimTime::ZERO, Point::new(x0, y))];
+            let mut t = 0u64;
+            let mut at_far = false;
+            while SimTime::from_secs(t) < end {
+                t += leg;
+                at_far = !at_far;
+                let x = if at_far { x0 + amp } else { x0 };
+                points.push((SimTime::from_secs(t), Point::new(x, y)));
+            }
+            Trajectory::new(points).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ownership churn: every node crosses shard boundaries again and
+    /// again, with epochs short enough that handoffs happen constantly.
+    #[test]
+    fn oscillating_boundary_churn(
+        seed in 0u64..1_000,
+        nodes in 4usize..20,
+        shards in 1usize..9,
+        epoch_ticks in 1u64..40,
+    ) {
+        let end = SimTime::from_mins(30);
+        let trajectories = oscillating_population(seed, nodes, end);
+        assert_sharded_matches(
+            &trajectories,
+            60.0,
+            SimDuration::from_secs(30),
+            end,
+            shards,
+            epoch_ticks,
+        );
+    }
+
+    /// Exact ties and halo-width edges: nodes parked on the same x as
+    /// a mover's turning point (a future quantile boundary), and pairs
+    /// whose separation brushes the radio range across that line.
+    #[test]
+    fn on_boundary_nodes_and_halo_width_pairs(
+        seed in 0u64..1_000,
+        range in 30.0f64..90.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let boundary_x = rng.gen_range(100.0..300.0);
+        let eps = rng.gen_range(0.001..0.5);
+        let mut trajectories = vec![
+            // Parked exactly on the boundary coordinate, twice (ties).
+            Trajectory::stationary(Point::new(boundary_x, 0.0)),
+            Trajectory::stationary(Point::new(boundary_x, 40.0)),
+            // A halo-width pair: just inside / just outside range of
+            // the boundary sitters.
+            Trajectory::stationary(Point::new(boundary_x + range - eps, 0.0)),
+            Trajectory::stationary(Point::new(boundary_x + range + eps, 40.0)),
+            // A mover that turns around exactly on the boundary.
+            Trajectory::new(vec![
+                (SimTime::ZERO, Point::new(boundary_x - 200.0, 20.0)),
+                (SimTime::from_secs(400), Point::new(boundary_x, 20.0)),
+                (SimTime::from_secs(800), Point::new(boundary_x - 200.0, 20.0)),
+                (SimTime::from_secs(1_200), Point::new(boundary_x + 200.0, 20.0)),
+            ])
+            .unwrap(),
+        ];
+        // Background crowd so the quantile sampler has mass on both
+        // sides of the boundary.
+        for _ in 0..8 {
+            let x = rng.gen_range(0.0..2.0 * boundary_x);
+            let y = rng.gen_range(0.0..80.0);
+            trajectories.push(Trajectory::stationary(Point::new(x, y)));
+        }
+        for k in [2usize, 4] {
+            assert_sharded_matches(
+                &trajectories,
+                range,
+                SimDuration::from_secs(15),
+                SimTime::from_secs(1_500),
+                k,
+                5,
+            );
+        }
+    }
+
+    /// Epoch grids that do not divide the window evenly (last epoch is
+    /// short) still concatenate to the exact stream.
+    #[test]
+    fn ragged_final_epoch(epoch_ticks in 1u64..97, end_secs in 100u64..2_000) {
+        let trajectories = oscillating_population(42, 8, SimTime::from_secs(2_000));
+        assert_sharded_matches(
+            &trajectories,
+            60.0,
+            SimDuration::from_secs(30),
+            SimTime::from_secs(end_secs),
+            3,
+            epoch_ticks,
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_shard_counts_and_reruns() {
+    // The stream must be one function of (trajectories, range, tick,
+    // window) — invariant under K = 1, 4, 16 and across reruns.
+    let rwp = RandomWaypoint::pedestrian(Bounds::new(900.0, 500.0));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let trajectories: Vec<Trajectory> = (0..60)
+        .map(|_| rwp.generate(&mut rng, SimDuration::from_mins(25)))
+        .collect();
+    let tick = SimDuration::from_secs(30);
+    let end = SimTime::from_mins(25);
+    let single = GridContactEngine::new(trajectories.clone(), 60.0, tick);
+    let expected = ContactSource::contact_events(&single, SimTime::ZERO, end);
+    assert!(!expected.is_empty(), "scenario should produce contacts");
+    for k in [1usize, 4, 16] {
+        let engine = ShardedContactEngine::from_trajectories(
+            &trajectories,
+            60.0,
+            tick,
+            ShardConfig {
+                shards: k,
+                epoch_ticks: 8,
+                threads: 0,
+            },
+        );
+        let first = ContactSource::contact_events(&engine, SimTime::ZERO, end);
+        let second = ContactSource::contact_events(&engine, SimTime::ZERO, end);
+        assert_eq!(expected, first, "K={k} diverged from the single loop");
+        assert_eq!(first, second, "K={k} was not deterministic across reruns");
+    }
+}
+
+#[test]
+fn more_shards_than_nodes() {
+    // Degenerate partition: K far above the population still owns
+    // every node exactly once and emits the exact stream.
+    let trajectories = oscillating_population(3, 3, SimTime::from_mins(10));
+    assert_sharded_matches(
+        &trajectories,
+        60.0,
+        SimDuration::from_secs(30),
+        SimTime::from_mins(10),
+        16,
+        4,
+    );
+}

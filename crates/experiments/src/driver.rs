@@ -226,9 +226,21 @@ impl<C: EncounterSource> Driver<C> {
         }
     }
 
+    /// Enqueues a driver event. Every driver schedule is at or after
+    /// the queue clock by construction — contacts, advertisements, and
+    /// posts are laid out before the run starts (clock zero), and
+    /// deliveries arrive at `now` plus a non-negative latency — so
+    /// [`sos_sim::SimError::SchedulePast`] is unreachable here.
+    fn enqueue(&mut self, at: SimTime, event: Event) {
+        self.queue
+            .schedule(at, event)
+            // sos-lint: allow(no-panic) reason="all driver event times are >= the queue clock by construction (see doc comment)"
+            .expect("driver events are never scheduled into the past");
+    }
+
     /// Schedules a post by `node` at `at`.
     pub fn schedule_post(&mut self, at: SimTime, node: usize) {
-        self.queue.schedule(at, Event::Post { node });
+        self.enqueue(at, Event::Post { node });
     }
 
     /// Schedules the periodic advertisement broadcasts for every node,
@@ -240,7 +252,7 @@ impl<C: EncounterSource> Driver<C> {
             let phase = self.config.ad_interval.as_millis() * node as u64 / n.max(1);
             let mut t = SimTime::from_millis(phase);
             while t <= self.end {
-                self.queue.schedule(t, Event::Advertise(node));
+                self.enqueue(t, Event::Advertise(node));
                 t += self.config.ad_interval;
             }
         }
@@ -265,7 +277,7 @@ impl<C: EncounterSource> Driver<C> {
                 },
                 sos_sim::ContactPhase::Down => Event::ContactDown { a: ev.a, b: ev.b },
             };
-            self.queue.schedule(ev.time, event);
+            self.enqueue(ev.time, event);
         }
     }
 
@@ -368,8 +380,7 @@ impl<C: EncounterSource> Driver<C> {
             arrival = *slot;
         }
         *slot = arrival;
-        self.queue
-            .schedule(arrival, Event::Deliver { src, dst, frame });
+        self.enqueue(arrival, Event::Deliver { src, dst, frame });
     }
 
     fn on_deliver(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {

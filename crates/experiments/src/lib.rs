@@ -22,6 +22,9 @@
 //!   (CRAWDAD / Reality-Mining / SASSY via `sos_trace::corpora`):
 //!   population, follow graph, and span derived from the trace itself
 //!   (extension)
+//! * [`metropolis`] — the million-node metropolis scaling scenario:
+//!   districts-and-transit mobility streamed through the sharded
+//!   contact kernel, five schemes evaluated in one pass (extension)
 //! * [`observe`] — run-scoped observability: a metrics registry +
 //!   event journal + span profiler bundle ([`observe::RunObserver`])
 //!   that attaches to any run without changing its outcome
@@ -37,6 +40,7 @@ pub mod corpus;
 pub mod density;
 pub mod driver;
 pub mod eviction;
+pub mod metropolis;
 pub mod observe;
 pub mod replay;
 pub mod report;

@@ -35,8 +35,10 @@ impl Config {
             // sos-obs owns the span profiler, sos-bench owns timing.
             wallclock_exempt_crates: s(&["obs", "bench"]),
             // Frame/bundle encoders, trace codecs + the recorder that
-            // feeds them, and everything that renders RUN-REPORTs or
-            // BENCH-JSON: hash-iteration order must never reach them.
+            // feeds them, everything that renders RUN-REPORTs or
+            // BENCH-JSON, and the sharded kernel's stream merge (its
+            // output must be byte-identical to the single loop, so
+            // hash-iteration order must never reach it).
             ordered_output_files: s(&[
                 "/codec_",
                 "/frame.rs",
@@ -47,6 +49,7 @@ impl Config {
                 "/report.rs",
                 "/journal.rs",
                 "/emit.rs",
+                "/shard.rs",
             ]),
             // Everything that parses or emits wire bytes or imports
             // foreign corpora (R4/R5 motivation: the PR 5 `as u64`

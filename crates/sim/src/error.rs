@@ -23,6 +23,15 @@ pub enum SimError {
     },
     /// A movement speed must be strictly positive and finite.
     NonPositiveSpeed,
+    /// An event was scheduled before the queue's current clock —
+    /// scheduling into the past indicates a logic error in the caller,
+    /// but it must surface as an error, not abort the process.
+    SchedulePast {
+        /// The requested (past) event time.
+        at: crate::time::SimTime,
+        /// The queue clock when the schedule was attempted.
+        now: crate::time::SimTime,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +42,14 @@ impl fmt::Display for SimError {
                 write!(f, "waypoint {index} moves backwards in time")
             }
             SimError::NonPositiveSpeed => f.write_str("speed must be positive and finite"),
+            SimError::SchedulePast { at, now } => {
+                write!(
+                    f,
+                    "cannot schedule into the past (at {} ms, queue is at {} ms)",
+                    at.as_millis(),
+                    now.as_millis()
+                )
+            }
         }
     }
 }
@@ -50,5 +67,11 @@ mod tests {
             .to_string()
             .contains('3'));
         assert!(SimError::NonPositiveSpeed.to_string().contains("positive"));
+        let err = SimError::SchedulePast {
+            at: crate::time::SimTime::from_secs(1),
+            now: crate::time::SimTime::from_secs(5),
+        };
+        assert!(err.to_string().contains("past"));
+        assert!(err.to_string().contains("1000"));
     }
 }

@@ -1,6 +1,7 @@
 //! A generic discrete-event queue: events pop in time order, with FIFO
 //! tie-breaking for events scheduled at the same instant.
 
+use crate::error::SimError;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -41,8 +42,8 @@ impl<E> Ord for Entry<E> {
 /// use sos_sim::{EventQueue, SimTime};
 ///
 /// let mut q = EventQueue::new();
-/// q.schedule(SimTime::from_secs(5), "later");
-/// q.schedule(SimTime::from_secs(1), "sooner");
+/// q.schedule(SimTime::from_secs(5), "later").unwrap();
+/// q.schedule(SimTime::from_secs(1), "sooner").unwrap();
 /// let (t, e) = q.pop().unwrap();
 /// assert_eq!(e, "sooner");
 /// assert_eq!(t.as_secs(), 1);
@@ -71,18 +72,22 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `at` is before the current simulation time — scheduling
-    /// into the past indicates a logic error in the caller.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past");
+    /// Returns [`SimError::SchedulePast`] if `at` is before the current
+    /// simulation time — scheduling into the past indicates a logic
+    /// error in the caller, and propagating it keeps the substrate
+    /// panic-free even when event times are derived from external data.
+    /// The queue is left unchanged on error.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::SchedulePast { at, now: self.now });
+        }
         self.heap.push(Entry {
             time: at,
             seq: self.seq,
             event,
         });
         self.seq += 1;
+        Ok(())
     }
 
     /// Pops the earliest event, advancing the queue's clock to it.
@@ -130,9 +135,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(3), 'c');
-        q.schedule(SimTime::from_secs(1), 'a');
-        q.schedule(SimTime::from_secs(2), 'b');
+        q.schedule(SimTime::from_secs(3), 'c').unwrap();
+        q.schedule(SimTime::from_secs(1), 'a').unwrap();
+        q.schedule(SimTime::from_secs(2), 'b').unwrap();
         let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!['a', 'b', 'c']);
     }
@@ -142,7 +147,7 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_secs(1);
         for i in 0..100 {
-            q.schedule(t, i);
+            q.schedule(t, i).unwrap();
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
@@ -151,26 +156,36 @@ mod tests {
     #[test]
     fn clock_advances() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(5), ());
+        q.schedule(SimTime::from_secs(5), ()).unwrap();
         assert_eq!(q.now(), SimTime::ZERO);
         q.pop();
         assert_eq!(q.now(), SimTime::from_secs(5));
     }
 
     #[test]
-    #[should_panic(expected = "into the past")]
-    fn scheduling_into_past_panics() {
+    fn scheduling_into_past_errors() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(5), ());
+        q.schedule(SimTime::from_secs(5), ()).unwrap();
         q.pop();
-        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(
+            q.schedule(SimTime::from_secs(1), ()),
+            Err(crate::SimError::SchedulePast {
+                at: SimTime::from_secs(1),
+                now: SimTime::from_secs(5),
+            })
+        );
+        // The failed schedule left the queue unchanged.
+        assert!(q.is_empty());
+        // Scheduling exactly at the clock is still allowed.
+        q.schedule(SimTime::from_secs(5), ()).unwrap();
+        assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn len_and_empty() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(1), ()).unwrap();
         assert_eq!(q.len(), 1);
     }
 }

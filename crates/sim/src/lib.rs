@@ -15,9 +15,11 @@
 //! * [`error`] — typed substrate errors ([`SimError`]): malformed
 //!   external inputs surface as errors, never panics
 //! * [`geo`] — a metric plane and distances
-//! * [`mobility`] — trajectory generation: random waypoint and a
+//! * [`mobility`] — trajectory generation: random waypoint, a
 //!   home/campus/errand daily-schedule model with nightly sleep (the paper
-//!   notes nodes are stationary 5–8 h/day)
+//!   notes nodes are stationary 5–8 h/day), a districts+transit
+//!   metropolis that scales the schedule model to city populations, and
+//!   struct-of-arrays trajectory storage for million-node worlds
 //! * [`radio`] — the three Multipeer Connectivity bearers and their
 //!   ranges (Bluetooth, peer-to-peer WiFi, infrastructure WiFi)
 //! * [`world`] — pairwise contact detection over sampled trajectories

@@ -1,0 +1,537 @@
+//! A districts + transit metropolis: city-scale daily mobility.
+//!
+//! [`DailySchedule`](crate::mobility::schedule::DailySchedule) models
+//! the paper's ten students around one campus; a million-node city
+//! needs structure that keeps contact density *local* while the map
+//! grows with the population. The metropolis is a grid of **districts**
+//! (~1–2 k residents each), every district holding housing **blocks**,
+//! **workplaces**, and one **transit station** at its centre:
+//!
+//! * nodes sleep in their home block (block-mates are within D2D range),
+//! * on work days they commute to a workplace — walking to the station
+//!   and riding an L-shaped transit line when the workplace is in
+//!   another district, driving directly otherwise,
+//! * evenings bring optional leisure visits to another block of the
+//!   home district, and everyone is home overnight.
+//!
+//! Contacts therefore cluster in blocks, workplaces, stations, and
+//! shared transit corridors — the locality that makes scheme behaviour
+//! diverge at scale (Schurgot et al.; Moreira & Mendes), and that the
+//! sharded contact kernel exploits spatially.
+//!
+//! Area scales with the population (fixed residents per district), so
+//! density — and per-node contact rate — stays roughly constant from
+//! 10 k to 1 M nodes.
+
+use crate::geo::{Bounds, Point};
+use crate::mobility::soa::TrajectorySet;
+use crate::mobility::trace::{Trajectory, TrajectoryBuilder};
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Configuration for a [`Metropolis`] population.
+#[derive(Clone, Debug)]
+pub struct MetropolisConfig {
+    /// District grid columns.
+    pub districts_x: usize,
+    /// District grid rows.
+    pub districts_y: usize,
+    /// Side of one square district, metres.
+    pub district_size: f64,
+    /// Housing blocks per district (laid out on an inner grid).
+    pub blocks_per_district: usize,
+    /// Workplaces per district (laid out on an inner grid, offset from
+    /// the housing blocks).
+    pub workplaces_per_district: usize,
+    /// Scatter radius of homes around their block centre / desks around
+    /// their workplace, metres. Keep below the radio range so
+    /// block-mates and colleagues are in contact.
+    pub scatter_m: f64,
+    /// Probability a node works in its home district (otherwise the
+    /// work district is sampled uniformly city-wide).
+    pub work_local_prob: f64,
+    /// Probability of commuting on a weekday.
+    pub weekday_commute: f64,
+    /// Probability of commuting on a weekend day.
+    pub weekend_commute: f64,
+    /// Mean workplace-arrival hour (e.g. 8.5 for 08:30).
+    pub arrival_hour_mean: f64,
+    /// Uniform jitter (± hours) applied to arrival time.
+    pub arrival_jitter_hours: f64,
+    /// Mean hours at work per commuting day.
+    pub work_hours_mean: f64,
+    /// Uniform jitter (± hours) on the work stay.
+    pub work_jitter_hours: f64,
+    /// Probability of an evening leisure visit to another block of the
+    /// home district.
+    pub leisure_prob: f64,
+    /// Minimum leisure visit duration, minutes.
+    pub leisure_minutes_min: u64,
+    /// Maximum leisure visit duration, minutes.
+    pub leisure_minutes_max: u64,
+    /// Walking speed (home ↔ station, station ↔ desk), m/s.
+    pub walk_speed: f64,
+    /// Driving speed (direct commutes, leisure), m/s.
+    pub drive_speed: f64,
+    /// Transit speed between stations, m/s.
+    pub transit_speed: f64,
+    /// Number of simulated days.
+    pub days: u64,
+}
+
+impl Default for MetropolisConfig {
+    fn default() -> Self {
+        MetropolisConfig {
+            districts_x: 3,
+            districts_y: 3,
+            district_size: 1_500.0,
+            blocks_per_district: 120,
+            workplaces_per_district: 40,
+            scatter_m: 25.0,
+            work_local_prob: 0.4,
+            weekday_commute: 0.8,
+            weekend_commute: 0.15,
+            arrival_hour_mean: 8.5,
+            arrival_jitter_hours: 1.0,
+            work_hours_mean: 8.0,
+            work_jitter_hours: 1.5,
+            leisure_prob: 0.3,
+            leisure_minutes_min: 45,
+            leisure_minutes_max: 150,
+            walk_speed: 1.4,
+            drive_speed: 11.0,
+            transit_speed: 15.0,
+            days: 7,
+        }
+    }
+}
+
+impl MetropolisConfig {
+    /// A config whose district grid scales with the population at
+    /// ~1,500 residents per district, keeping contact density constant
+    /// from 10 k to 1 M nodes.
+    pub fn for_population(nodes: usize) -> MetropolisConfig {
+        let districts = (nodes / 1_500).max(1);
+        let cols = (districts as f64).sqrt().ceil() as usize;
+        let rows = districts.div_ceil(cols);
+        MetropolisConfig {
+            districts_x: cols.max(1),
+            districts_y: rows.max(1),
+            ..MetropolisConfig::default()
+        }
+    }
+
+    /// Number of districts in the grid.
+    pub fn district_count(&self) -> usize {
+        self.districts_x * self.districts_y
+    }
+
+    /// The city bounds implied by the district grid.
+    pub fn bounds(&self) -> Bounds {
+        Bounds::new(
+            self.districts_x as f64 * self.district_size,
+            self.districts_y as f64 * self.district_size,
+        )
+    }
+}
+
+/// Generates trajectories for a metropolis population.
+///
+/// Construction deterministically assigns every node a home block, a
+/// work district, and a workplace from `(config, node_count, seed)`;
+/// [`Metropolis::generate_all`] then forks a per-node RNG stream for
+/// the day-to-day randomness, so the whole city is a pure function of
+/// configuration and seed.
+#[derive(Clone, Debug)]
+pub struct Metropolis {
+    config: MetropolisConfig,
+    blocks: Vec<Point>,
+    stations: Vec<Point>,
+    homes: Vec<Point>,
+    desks: Vec<Point>,
+    home_district: Vec<u32>,
+    work_district: Vec<u32>,
+    members: Vec<Vec<u32>>,
+}
+
+impl Metropolis {
+    /// Creates the city and assigns every node a home and a workplace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero node count, an empty district grid, or
+    /// non-positive speeds — configuration bugs, not data errors.
+    pub fn new<R: Rng>(config: MetropolisConfig, node_count: usize, rng: &mut R) -> Metropolis {
+        assert!(node_count > 0, "need at least one node");
+        let districts = config.district_count();
+        assert!(districts > 0, "need at least one district");
+        assert!(
+            config.blocks_per_district > 0 && config.workplaces_per_district > 0,
+            "districts need blocks and workplaces"
+        );
+        for speed in [config.walk_speed, config.drive_speed, config.transit_speed] {
+            assert!(speed > 0.0 && speed.is_finite(), "speeds must be positive");
+        }
+        let bounds = config.bounds();
+
+        // Inner grids: blocks in the district's north half, workplaces
+        // in the south half, station at the centre.
+        let mut blocks = Vec::with_capacity(districts * config.blocks_per_district);
+        let mut workplaces = Vec::with_capacity(districts * config.workplaces_per_district);
+        let mut stations = Vec::with_capacity(districts);
+        for d in 0..districts {
+            let col = d % config.districts_x;
+            let row = d / config.districts_x;
+            let x0 = col as f64 * config.district_size;
+            let y0 = row as f64 * config.district_size;
+            stations.push(Point::new(
+                x0 + config.district_size / 2.0,
+                y0 + config.district_size / 2.0,
+            ));
+            blocks.extend(inner_grid(
+                config.blocks_per_district,
+                x0,
+                y0 + config.district_size * 0.55,
+                config.district_size,
+                config.district_size * 0.4,
+            ));
+            workplaces.extend(inner_grid(
+                config.workplaces_per_district,
+                x0,
+                y0 + config.district_size * 0.05,
+                config.district_size,
+                config.district_size * 0.4,
+            ));
+        }
+
+        let mut homes = Vec::with_capacity(node_count);
+        let mut desks = Vec::with_capacity(node_count);
+        let mut home_district = Vec::with_capacity(node_count);
+        let mut work_district = Vec::with_capacity(node_count);
+        let mut members = vec![Vec::new(); districts];
+        for node in 0..node_count {
+            let hd = rng.gen_range(0..districts);
+            let block =
+                hd * config.blocks_per_district + rng.gen_range(0..config.blocks_per_district);
+            let wd = if rng.gen_bool(config.work_local_prob.clamp(0.0, 1.0)) {
+                hd
+            } else {
+                rng.gen_range(0..districts)
+            };
+            let wp = wd * config.workplaces_per_district
+                + rng.gen_range(0..config.workplaces_per_district);
+            homes.push(bounds.clamp(scatter(blocks[block], config.scatter_m, rng)));
+            desks.push(bounds.clamp(scatter(workplaces[wp], config.scatter_m, rng)));
+            home_district.push(hd as u32);
+            work_district.push(wd as u32);
+            members[hd].push(node as u32);
+        }
+
+        Metropolis {
+            config,
+            blocks,
+            stations,
+            homes,
+            desks,
+            home_district,
+            work_district,
+            members,
+        }
+    }
+
+    /// The configuration the city was built from.
+    pub fn config(&self) -> &MetropolisConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Number of districts.
+    pub fn district_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Home district of `node`.
+    pub fn home_district(&self, node: usize) -> usize {
+        self.home_district[node] as usize
+    }
+
+    /// The nodes living in district `d` (ascending node order).
+    pub fn district_members(&self, d: usize) -> &[u32] {
+        &self.members[d]
+    }
+
+    /// Home position of `node`.
+    pub fn home(&self, node: usize) -> Point {
+        self.homes[node]
+    }
+
+    fn station_of(&self, district: usize) -> Point {
+        self.stations[district]
+    }
+
+    /// The corner district where an L-shaped transit ride from `from`
+    /// to `to` changes line: same row as `from`, same column as `to`.
+    fn transit_corner(&self, from: usize, to: usize) -> usize {
+        let row = from / self.config.districts_x;
+        let col = to % self.config.districts_x;
+        row * self.config.districts_x + col
+    }
+
+    /// Appends the home → desk commute (or its reverse) to the builder.
+    fn commute(&self, b: &mut TrajectoryBuilder, node: usize, to_work: bool) {
+        let cfg = &self.config;
+        let (from_d, to_d, dest) = if to_work {
+            (
+                self.home_district[node] as usize,
+                self.work_district[node] as usize,
+                self.desks[node],
+            )
+        } else {
+            (
+                self.work_district[node] as usize,
+                self.home_district[node] as usize,
+                self.homes[node],
+            )
+        };
+        if from_d == to_d {
+            travel(b, dest, cfg.drive_speed);
+            return;
+        }
+        travel(b, self.station_of(from_d), cfg.walk_speed);
+        let corner = self.transit_corner(from_d, to_d);
+        if corner != from_d && corner != to_d {
+            travel(b, self.station_of(corner), cfg.transit_speed);
+        }
+        travel(b, self.station_of(to_d), cfg.transit_speed);
+        travel(b, dest, cfg.walk_speed);
+    }
+
+    /// Travel time of the commute at the configured speeds, used to
+    /// back-date the departure so arrival hits the sampled hour.
+    fn commute_duration(&self, node: usize, to_work: bool) -> SimDuration {
+        let cfg = &self.config;
+        let (from_d, to_d, from, dest) = if to_work {
+            (
+                self.home_district[node] as usize,
+                self.work_district[node] as usize,
+                self.homes[node],
+                self.desks[node],
+            )
+        } else {
+            (
+                self.work_district[node] as usize,
+                self.home_district[node] as usize,
+                self.desks[node],
+                self.homes[node],
+            )
+        };
+        let ms = if from_d == to_d {
+            leg_ms(from, dest, cfg.drive_speed)
+        } else {
+            let s_from = self.station_of(from_d);
+            let s_to = self.station_of(to_d);
+            let corner = self.transit_corner(from_d, to_d);
+            let mut total = leg_ms(from, s_from, cfg.walk_speed);
+            let mut at = s_from;
+            if corner != from_d && corner != to_d {
+                total += leg_ms(at, self.station_of(corner), cfg.transit_speed);
+                at = self.station_of(corner);
+            }
+            total += leg_ms(at, s_to, cfg.transit_speed);
+            total + leg_ms(s_to, dest, cfg.walk_speed)
+        };
+        SimDuration::from_millis(ms)
+    }
+
+    /// Generates the full multi-day trajectory for one node.
+    ///
+    /// `rng` must be a per-node stream (fork the scenario RNG per node)
+    /// so trajectories are independent yet reproducible.
+    pub fn generate<R: Rng>(&self, node: usize, rng: &mut R) -> Trajectory {
+        let cfg = &self.config;
+        let home = self.homes[node];
+        let mut b = TrajectoryBuilder::new(SimTime::ZERO, home);
+
+        for day in 0..cfg.days {
+            let day_start = SimTime::from_hours(day * 24);
+            // The epoch is a Monday, as in the daily-schedule model.
+            let weekday = day % 7 < 5;
+            let commute_prob = if weekday {
+                cfg.weekday_commute
+            } else {
+                cfg.weekend_commute
+            };
+            if rng.gen_bool(commute_prob.clamp(0.0, 1.0)) {
+                let arrive_h = cfg.arrival_hour_mean
+                    + rng.gen_range(-cfg.arrival_jitter_hours..=cfg.arrival_jitter_hours);
+                let work_h = (cfg.work_hours_mean
+                    + rng.gen_range(-cfg.work_jitter_hours..=cfg.work_jitter_hours))
+                .max(1.0);
+                let arrive = day_start + SimDuration::from_millis((arrive_h * 3.6e6) as u64);
+                let travel_time = self.commute_duration(node, true);
+                let depart = SimTime::from_millis(
+                    arrive.as_millis().saturating_sub(travel_time.as_millis()),
+                );
+                b.wait_until(depart.max(b.now()));
+                self.commute(&mut b, node, true);
+                let leave = b.now() + SimDuration::from_millis((work_h * 3.6e6) as u64);
+                b.wait_until(leave);
+                self.commute(&mut b, node, false);
+            }
+            if rng.gen_bool(cfg.leisure_prob.clamp(0.0, 1.0)) {
+                let hd = self.home_district[node] as usize;
+                let block =
+                    hd * cfg.blocks_per_district + rng.gen_range(0..cfg.blocks_per_district);
+                let depart_h = rng.gen_range(18.0..20.0f64);
+                let depart = day_start + SimDuration::from_millis((depart_h * 3.6e6) as u64);
+                b.wait_until(depart.max(b.now()));
+                travel(&mut b, self.blocks[block], cfg.drive_speed);
+                let mins = rng.gen_range(
+                    cfg.leisure_minutes_min..=cfg.leisure_minutes_max.max(cfg.leisure_minutes_min),
+                );
+                b.wait_until(b.now() + SimDuration::from_mins(mins));
+                travel(&mut b, home, cfg.drive_speed);
+            }
+            // Sleep at home until the next morning.
+            let next_day = SimTime::from_hours((day + 1) * 24);
+            b.wait_until(next_day.max(b.now()));
+        }
+        b.build()
+    }
+
+    /// Generates the whole city into a [`TrajectorySet`], forking a
+    /// deterministic per-node RNG stream from `base_seed` (the same
+    /// forking scheme as `DailySchedule::generate_all`).
+    pub fn generate_all(&self, base_seed: u64) -> TrajectorySet {
+        use rand::SeedableRng;
+        let mut set = TrajectorySet::new();
+        for node in 0..self.node_count() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                base_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(node as u64 + 1)),
+            );
+            set.push_trajectory(&self.generate(node, &mut rng));
+        }
+        set
+    }
+}
+
+/// Lays `count` points out on a grid inside a `width × height` box at
+/// `(x0, y0)`, inset from the edges.
+fn inner_grid(count: usize, x0: f64, y0: f64, width: f64, height: f64) -> Vec<Point> {
+    let cols = (count as f64).sqrt().ceil() as usize;
+    let rows = count.div_ceil(cols);
+    (0..count)
+        .map(|i| {
+            let c = i % cols;
+            let r = i / cols;
+            Point::new(
+                x0 + width * (c as f64 + 0.5) / cols as f64,
+                y0 + height * (r as f64 + 0.5) / rows as f64,
+            )
+        })
+        .collect()
+}
+
+fn scatter<R: Rng>(center: Point, radius: f64, rng: &mut R) -> Point {
+    Point::new(
+        center.x + rng.gen_range(-radius..=radius),
+        center.y + rng.gen_range(-radius..=radius),
+    )
+}
+
+fn leg_ms(from: Point, to: Point, speed: f64) -> u64 {
+    (from.distance(&to) / speed * 1000.0).round() as u64
+}
+
+/// Travels to `dest` unless already (essentially) there.
+fn travel(b: &mut TrajectoryBuilder, dest: Point, speed: f64) {
+    if b.position().distance(&dest) > 0.5 {
+        b.travel_to(dest, speed)
+            .expect("metropolis speeds are validated positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn make(nodes: usize, seed: u64) -> (Metropolis, TrajectorySet) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut config = MetropolisConfig::for_population(nodes);
+        config.days = 2;
+        let metro = Metropolis::new(config, nodes, &mut rng);
+        let set = metro.generate_all(seed);
+        (metro, set)
+    }
+
+    #[test]
+    fn nodes_sleep_at_home() {
+        let (metro, set) = make(60, 3);
+        for node in 0..metro.node_count() {
+            for day in 0..2 {
+                let t = SimTime::from_hours(day * 24 + 3);
+                let pos = set.position_at(node, t);
+                assert!(
+                    pos.distance(&metro.home(node)) < 1.0,
+                    "node {node} away from home at 03:00 day {day}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commuters_reach_work_side() {
+        // At 11:00 on a weekday a large share of the population should
+        // be away from home (at work).
+        let (metro, set) = make(200, 7);
+        let away = (0..metro.node_count())
+            .filter(|&n| {
+                set.position_at(n, SimTime::from_hours(11))
+                    .distance(&metro.home(n))
+                    > 100.0
+            })
+            .count();
+        assert!(away > 80, "only {away}/200 nodes commuted");
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let (metro, set) = make(80, 11);
+        let bounds = metro.config().bounds();
+        for node in 0..metro.node_count() {
+            for hour in 0..48 {
+                let p = set.position_at(node, SimTime::from_hours(hour));
+                assert!(bounds.contains(&p), "node {node} out of bounds at {hour}h");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_scales_with_population() {
+        let (_, a) = make(40, 42);
+        let (_, b) = make(40, 42);
+        assert_eq!(a, b);
+        let big = MetropolisConfig::for_population(150_000);
+        let small = MetropolisConfig::for_population(10_000);
+        assert!(big.district_count() > small.district_count());
+        assert!(big.bounds().area_km2() > small.bounds().area_km2());
+    }
+
+    #[test]
+    fn district_membership_is_consistent() {
+        let (metro, _) = make(120, 5);
+        let mut seen = 0usize;
+        for d in 0..metro.district_count() {
+            for &n in metro.district_members(d) {
+                assert_eq!(metro.home_district(n as usize), d);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, metro.node_count());
+    }
+}

@@ -11,11 +11,21 @@
 //!   sleep, matching the field study's student population ("node mobility
 //!   tends to become stationary, for at least 5-8 hours a day due to the
 //!   human requirement to sleep")
+//! * [`metropolis`] — the city-scale extension of the daily schedule:
+//!   a district grid with housing blocks, workplaces, and transit
+//!   lines, whose area scales with the population
+//!
+//! [`soa`] provides the struct-of-arrays [`TrajectorySet`] storage the
+//! sharded contact kernel steps cache-linearly.
 
+pub mod metropolis;
 pub mod random_waypoint;
 pub mod schedule;
+pub mod soa;
 pub mod trace;
 
+pub use metropolis::{Metropolis, MetropolisConfig};
 pub use random_waypoint::RandomWaypoint;
 pub use schedule::{DailySchedule, ScheduleConfig};
+pub use soa::TrajectorySet;
 pub use trace::Trajectory;
