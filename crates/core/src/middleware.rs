@@ -463,6 +463,13 @@ impl Sos {
         let outcome = self.store.insert(bundle);
         debug_assert_eq!(outcome, InsertOutcome::New);
         self.stats.posts.inc();
+        self.note(
+            now,
+            ObsEvent::BundlePost {
+                author: sos_obs::author_tag(me.as_bytes()),
+                seq: number,
+            },
+        );
         Ok(MessageId { author: me, number })
     }
 
@@ -525,19 +532,42 @@ impl Sos {
         let mut evicted = 0;
         if let Some(ttl) = self.config.bundle_ttl {
             let cutoff = SimTime::from_millis(now.as_millis().saturating_sub(ttl.as_millis()));
-            evicted += self
+            let ids = self
                 .store
-                .evict_older_than(cutoff, |b| b.message.id.author == me);
+                .evict_older_than_reporting(cutoff, |b| b.message.id.author == me);
+            evicted += ids.len();
+            self.note_evictions(now, &ids, "ttl");
         }
         if let Some(max) = self.config.max_stored_bundles {
-            evicted += self
+            let ids = self
                 .store
-                .evict_to_capacity(max, |b| b.message.id.author == me);
+                .evict_to_capacity_reporting(max, |b| b.message.id.author == me);
+            evicted += ids.len();
+            self.note_evictions(now, &ids, "capacity");
         }
         if evicted > 0 {
             self.note(now, ObsEvent::StoreEvict { count: evicted });
         }
         evicted
+    }
+
+    /// Journals one [`ObsEvent::BundleEvict`] per evicted id (when a
+    /// scope is attached) — the per-copy record delivery forensics needs
+    /// to distinguish "all custodians evicted" from "never forwarded".
+    fn note_evictions(&self, now: SimTime, ids: &[MessageId], cause: &'static str) {
+        if self.obs.is_none() {
+            return;
+        }
+        for id in ids {
+            self.note(
+                now,
+                ObsEvent::BundleEvict {
+                    author: sos_obs::author_tag(id.author.as_bytes()),
+                    seq: id.number,
+                    cause,
+                },
+            );
+        }
     }
 
     /// Feeds one received frame through the middleware, returning the
@@ -1054,10 +1084,18 @@ impl Sos {
         let _span = sos_obs::profile::span("core/receive_bundle");
         self.stats.bundles_received.inc();
         let id = bundle.message.id;
+        let author = sos_obs::author_tag(id.author.as_bytes());
         if let Some(held) = self.store.get(&id) {
             if bundle.content_matches(held) {
                 self.stats.bundles_duplicate.inc();
-                self.note(now, ObsEvent::BundleDuplicate { from: from.0 });
+                self.note(
+                    now,
+                    ObsEvent::BundleDuplicate {
+                        from: from.0,
+                        author,
+                        seq: id.number,
+                    },
+                );
                 // Same signed bytes we already verified. A duplicate
                 // that arrived over a shorter path still improves what
                 // we know (and relay) about the message: keep the
@@ -1081,7 +1119,14 @@ impl Sos {
                     // certificate would be rejected as a forgery by
                     // every peer once it lapses.
                     self.stats.bundles_duplicate.inc();
-                    self.note(now, ObsEvent::BundleDuplicate { from: from.0 });
+                    self.note(
+                        now,
+                        ObsEvent::BundleDuplicate {
+                            from: from.0,
+                            author,
+                            seq: id.number,
+                        },
+                    );
                     bundle.hops += 1;
                     if let Some(held) = self.store.get_mut(&id) {
                         held.hops = held.hops.min(bundle.hops);
@@ -1117,6 +1162,8 @@ impl Sos {
                 now,
                 ObsEvent::BundleReject {
                     from: from.0,
+                    author,
+                    seq: id.number,
                     cause,
                 },
             );
@@ -1132,6 +1179,8 @@ impl Sos {
                 now,
                 ObsEvent::BundleReject {
                     from: from.0,
+                    author,
+                    seq: id.number,
                     cause: "verify_failed",
                 },
             );
@@ -1162,13 +1211,19 @@ impl Sos {
             from,
             carried,
         };
-        if carried || interested {
+        let hops = bundle.hops;
+        let stored = carried || interested;
+        if stored {
             self.store.insert(bundle);
         }
         self.note(
             now,
             ObsEvent::BundleAccept {
                 from: from.0,
+                author,
+                seq: id.number,
+                hops,
+                stored,
                 carried: self.store.len(),
             },
         );

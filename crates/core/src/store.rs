@@ -226,15 +226,33 @@ impl MessageStore {
     ///
     /// DTN stores are finite; expired gossip must age out or a
     /// long-running device fills its flash with other people's history.
-    pub fn evict_older_than<F>(&mut self, cutoff: sos_sim::SimTime, mut keep: F) -> usize
+    pub fn evict_older_than<F>(&mut self, cutoff: sos_sim::SimTime, keep: F) -> usize
     where
         F: FnMut(&Bundle) -> bool,
     {
-        let mut evicted = 0;
+        self.evict_older_than_reporting(cutoff, keep).len()
+    }
+
+    /// [`MessageStore::evict_older_than`], returning the ids evicted
+    /// (oldest author order) instead of just the count — the per-bundle
+    /// record the observability journal needs.
+    pub fn evict_older_than_reporting<F>(
+        &mut self,
+        cutoff: sos_sim::SimTime,
+        mut keep: F,
+    ) -> Vec<MessageId>
+    where
+        F: FnMut(&Bundle) -> bool,
+    {
+        let mut evicted = Vec::new();
         for msgs in self.by_author.values_mut() {
-            let before = msgs.len();
-            msgs.retain(|_, b| b.message.created_at >= cutoff || keep(b));
-            evicted += before - msgs.len();
+            msgs.retain(|_, b| {
+                let kept = b.message.created_at >= cutoff || keep(b);
+                if !kept {
+                    evicted.push(b.message.id);
+                }
+                kept
+            });
         }
         self.by_author.retain(|_, msgs| !msgs.is_empty());
         evicted
@@ -242,13 +260,22 @@ impl MessageStore {
 
     /// Evicts oldest-created bundles (protected ones excepted) until at
     /// most `max` remain. Returns the number evicted.
-    pub fn evict_to_capacity<F>(&mut self, max: usize, mut keep: F) -> usize
+    pub fn evict_to_capacity<F>(&mut self, max: usize, keep: F) -> usize
+    where
+        F: FnMut(&Bundle) -> bool,
+    {
+        self.evict_to_capacity_reporting(max, keep).len()
+    }
+
+    /// [`MessageStore::evict_to_capacity`], returning the ids evicted
+    /// (oldest-created first) instead of just the count.
+    pub fn evict_to_capacity_reporting<F>(&mut self, max: usize, mut keep: F) -> Vec<MessageId>
     where
         F: FnMut(&Bundle) -> bool,
     {
         let len = self.len();
         if len <= max {
-            return 0;
+            return Vec::new();
         }
         // Collect evictable ids ordered by creation time (oldest first).
         let mut candidates: Vec<(sos_sim::SimTime, MessageId)> = self
@@ -257,14 +284,14 @@ impl MessageStore {
             .map(|b| (b.message.created_at, b.message.id))
             .collect();
         candidates.sort();
-        let mut evicted = 0;
+        let mut evicted = Vec::new();
         for (_, id) in candidates {
             if self.len() <= max {
                 break;
             }
             if let Some(msgs) = self.by_author.get_mut(&id.author) {
                 if msgs.remove(&id.number).is_some() {
-                    evicted += 1;
+                    evicted.push(id);
                 }
                 if msgs.is_empty() {
                     self.by_author.remove(&id.author);
@@ -407,6 +434,21 @@ mod tests {
         // The newest four survive.
         let remaining: Vec<u64> = store.iter().map(|b| b.message.id.number).collect();
         assert_eq!(remaining, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn reporting_evictions_name_the_victims() {
+        let mut store = MessageStore::new();
+        for n in 1..=5 {
+            store.insert(bundle("alice", n)); // created_at = n seconds
+        }
+        let ids = store.evict_older_than_reporting(SimTime::from_secs(3), |_| false);
+        let gone: Vec<u64> = ids.iter().map(|id| id.number).collect();
+        assert_eq!(gone, vec![1, 2]);
+        let ids = store.evict_to_capacity_reporting(1, |_| false);
+        let gone: Vec<u64> = ids.iter().map(|id| id.number).collect();
+        assert_eq!(gone, vec![3, 4], "oldest-created first");
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

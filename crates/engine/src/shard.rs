@@ -203,6 +203,12 @@ impl ShardedContactEngine {
             let epoch_end = if target > end { end } else { target };
 
             // -- Partition: owners, extents, reaches, hosted sets. --
+            // Spans live on this (caller) thread: the profiler
+            // aggregates thread-locally, so worker-side spans would be
+            // lost. The partition span therefore also covers dispatch
+            // setup; the step span covers the parallel workers
+            // wall-clock (what the caller actually waits on).
+            let partition_span = sos_obs::profile::span("engine/epoch_partition");
             let boundaries = owner_boundaries(&positions, k);
             let owner: Vec<u32> = positions
                 .iter()
@@ -228,7 +234,10 @@ impl ShardedContactEngine {
                 }
             }
 
+            drop(partition_span);
+
             // -- Parallel step. --
+            let step_span = sos_obs::profile::span("engine/epoch_step");
             let ctx = EpochCtx {
                 set: &self.set,
                 positions: &positions,
@@ -244,8 +253,10 @@ impl ShardedContactEngine {
             let outputs = run_replicas(hosted, self.config.threads, |shard, hosted_s| {
                 run_shard(&ctx, shard as u32, &hosted_s)
             });
+            drop(step_span);
 
             // -- Barrier: deterministic merge + handoff state. --
+            let merge_span = sos_obs::profile::span("engine/epoch_merge");
             let mut merged: Vec<ContactEvent> = Vec::new();
             for out in &outputs {
                 merged.extend_from_slice(&out.events);
@@ -254,6 +265,8 @@ impl ShardedContactEngine {
             // per tick, emitted by exactly one shard), so this sort is a
             // total, deterministic order — no map iteration anywhere.
             merged.sort_unstable_by_key(|e| (e.time, e.a, e.b));
+            drop(merge_span);
+            let handoff_span = sos_obs::profile::span("engine/epoch_handoff");
             for ev in &merged {
                 match ev.phase {
                     ContactPhase::Up => adj_insert(&mut open, ev.a, ev.b),
@@ -265,6 +278,7 @@ impl ShardedContactEngine {
                     positions[node as usize] = p;
                 }
             }
+            drop(handoff_span);
             f(&merged);
 
             if epoch_end >= end {

@@ -23,10 +23,12 @@
 //! sharded kernel's stream is byte-identical at any shard count —
 //! independent of `shards`/`threads`.
 
+use crate::observe::{RunObservation, RunObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sos_core::routing::SchemeKind;
 use sos_engine::{ShardConfig, ShardedContactEngine};
+use sos_obs::{JournalEntry, ObsEvent};
 use sos_sim::mobility::{Metropolis, MetropolisConfig};
 use sos_sim::{ContactPhase, SimDuration, SimTime};
 
@@ -463,6 +465,27 @@ impl SchemeState {
 /// population, streams the sharded contact kernel over the full
 /// window, and evaluates all five schemes in that single pass.
 pub fn run_metropolis(cfg: &MetroConfig) -> MetroOutcome {
+    run_metropolis_inner(cfg, None)
+}
+
+/// [`run_metropolis`] with a [`RunObserver`] attached: the merged
+/// contact stream is journaled (attributed to the lower node of each
+/// edge), run totals land in the registry as `metro/*` counters, and
+/// per-scheme delivery/transfer counters plus delivery-delay histograms
+/// land under `metro/<scheme>/*`.
+///
+/// Observation is passive — the returned outcome is byte-identical to
+/// the blind run — and the captured journal inherits the sharded
+/// kernel's stream guarantee, so the observed report is shard-count
+/// invariant. At metropolis scale the default journal ring overflows;
+/// that is reported honestly via [`sos_obs::Journal::dropped`] (size
+/// the ring with [`RunObserver::with_journal_capacity`] to keep the
+/// whole stream).
+pub fn run_metropolis_observed(cfg: &MetroConfig, observer: &RunObserver) -> MetroOutcome {
+    run_metropolis_inner(cfg, Some(observer))
+}
+
+fn run_metropolis_inner(cfg: &MetroConfig, observer: Option<&RunObserver>) -> MetroOutcome {
     assert!(cfg.nodes >= 2, "metropolis needs at least two nodes");
     assert!(cfg.days > 0, "metropolis needs a non-empty window");
     assert!(cfg.posts > 0, "metropolis needs posts to route");
@@ -494,6 +517,7 @@ pub fn run_metropolis(cfg: &MetroConfig) -> MetroOutcome {
     let mut scratch: Vec<u64> = Vec::new();
     let mut cursor = 0usize;
     let (mut contacts, mut events) = (0u64, 0u64);
+    let journal = observer.map(|o| o.journal.clone());
     engine.for_each_epoch(SimTime::ZERO, end, |epoch| {
         for ev in epoch {
             events += 1;
@@ -509,17 +533,82 @@ pub fn run_metropolis(cfg: &MetroConfig) -> MetroOutcome {
                     st.contact(&posts, ev.a, ev.b, ev.time, &mut scratch);
                 }
             }
+            if let Some(journal) = &journal {
+                let (a, b) = (ev.a as u32, ev.b as u32);
+                journal.push(JournalEntry {
+                    time: ev.time,
+                    node: a,
+                    event: match ev.phase {
+                        ContactPhase::Up => ObsEvent::ContactUp { a, b },
+                        ContactPhase::Down => ObsEvent::ContactDown { a, b },
+                    },
+                });
+            }
         }
     });
 
-    MetroOutcome {
+    let outcome = MetroOutcome {
         nodes: cfg.nodes,
         districts,
         posts: posts.len(),
         contacts,
         events,
         schemes: states.into_iter().map(|s| s.metrics(&posts)).collect(),
+    };
+    if let Some(observer) = observer {
+        let registry = &observer.registry;
+        registry.counter("metro/contacts").add(outcome.contacts);
+        registry.counter("metro/events").add(outcome.events);
+        registry.counter("metro/posts").add(outcome.posts as u64);
+        for s in &outcome.schemes {
+            let prefix = format!("metro/{}", s.scheme.name());
+            registry
+                .counter(&format!("{prefix}/delivered"))
+                .add(s.delivered as u64);
+            registry
+                .counter(&format!("{prefix}/transfers"))
+                .add(s.transfers);
+            let delays = registry.histogram(&format!("{prefix}/delay_h"));
+            for q in [s.delay_p50_h, s.delay_p90_h].into_iter().flatten() {
+                delays.record(q.round() as u64);
+            }
+        }
     }
+    outcome
+}
+
+/// Renders the observed METRO-REPORT: run totals, the per-scheme table,
+/// `metro/*` registry counters, and the journal summary.
+///
+/// Wall-clock self-profile data is deliberately excluded, so the
+/// rendered bytes are deterministic — equal across repeat runs and
+/// across contact-kernel shard counts.
+pub fn metro_report(outcome: &MetroOutcome, observation: &RunObservation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== METRO-REPORT {} nodes, {} districts ===\n",
+        outcome.nodes, outcome.districts
+    ));
+    out.push_str(&format!(
+        "posts {}  contact-ups {}  transitions {}\n\n",
+        outcome.posts, outcome.contacts, outcome.events
+    ));
+    out.push_str(&format_table(std::slice::from_ref(outcome)));
+    out.push_str("\nmetro counters:\n");
+    for (name, v) in &observation.metrics.counters {
+        if name.starts_with("metro/") {
+            out.push_str(&format!("    {name:<32} {v}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "\njournal: {} entrie(s) retained, {} dropped\n",
+        observation.journal.len(),
+        observation.journal.dropped()
+    ));
+    for (kind, n) in observation.journal.counts_by_kind() {
+        out.push_str(&format!("    {kind:<18} {n}\n"));
+    }
+    out
 }
 
 /// Runs the scenario at each population in `populations`, scaling the
@@ -627,6 +716,43 @@ mod tests {
             ..base.clone()
         });
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn observed_run_is_passive_and_report_is_shard_count_invariant() {
+        let base = tiny();
+        let blind = run_metropolis(&base);
+
+        let run_observed = |shards: usize, threads: usize| {
+            let observer = RunObserver::new();
+            let outcome = run_metropolis_observed(
+                &MetroConfig {
+                    shards,
+                    threads,
+                    ..base.clone()
+                },
+                &observer,
+            );
+            let observation = observer.finish();
+            let report = metro_report(&outcome, &observation);
+            (outcome, observation, report)
+        };
+        let (one, obs_one, report_one) = run_observed(1, 1);
+        let (four, _, report_four) = run_observed(4, 2);
+
+        // Observation is passive and the stream is shard-invariant.
+        assert_eq!(blind, one);
+        assert_eq!(one, four);
+        // The merged contact stream is byte-identical at any K, so the
+        // observed report must match to the byte.
+        assert_eq!(report_one, report_four);
+        assert!(report_one.contains("METRO-REPORT"));
+        assert!(report_one.contains("metro/contacts"));
+        // The journal saw exactly the contact transitions (ring
+        // permitting — drops are reported, not hidden).
+        let journal = &obs_one.journal;
+        assert_eq!(journal.len() as u64 + journal.dropped(), one.events);
+        assert_eq!(obs_one.metrics.counters["metro/contacts"], one.contacts);
     }
 
     #[test]

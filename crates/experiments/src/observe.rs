@@ -9,7 +9,9 @@
 //! without instrumentation and must agree (see `tests/obs_determinism`
 //! at the workspace root).
 
-use sos_obs::{profile, Journal, JournalHandle, MetricsSnapshot, Profile, Registry};
+use sos_obs::{
+    profile, GlobalTimeline, Journal, JournalHandle, MetricsSnapshot, Profile, Provenance, Registry,
+};
 
 /// The observability context of one run: hand `registry` + `journal`
 /// to [`Driver::attach_observer`](crate::driver::Driver::attach_observer)
@@ -90,6 +92,23 @@ pub struct RunObservation {
     pub journal: Journal,
     /// The aggregated span profile (empty unless profiling was on).
     pub profile: Profile,
+}
+
+impl RunObservation {
+    /// The journal merged into its canonical global timeline (sorted by
+    /// `(time, node, seq)` — byte-identical across replay and shard
+    /// counts).
+    pub fn timeline(&self) -> GlobalTimeline {
+        GlobalTimeline::merge([&self.journal])
+    }
+
+    /// The full provenance reconstruction of the run: per-bundle
+    /// propagation DAGs plus contact intervals, ready for
+    /// [`Provenance::classify`] and the PATH-REPORT renderer
+    /// ([`crate::report::path_report`]).
+    pub fn provenance(&self) -> Provenance {
+        Provenance::build(&self.timeline())
+    }
 }
 
 #[cfg(test)]

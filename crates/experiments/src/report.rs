@@ -6,8 +6,10 @@ use crate::driver::{aggregate_stats, MapEventKind, RunMetrics};
 use crate::observe::RunObservation;
 use crate::scenario::FieldStudyOutcome;
 use alleyoop::app::AlleyOopApp;
-use sos_obs::Journal;
+use sos_core::routing::SchemeKind;
+use sos_obs::{Journal, SchemeTraits};
 use sos_sim::metrics::Cdf;
+use std::collections::BTreeMap;
 
 /// Paper-published values for §VI, used in the comparison tables.
 pub mod paper {
@@ -414,6 +416,181 @@ pub fn run_report(
     out
 }
 
+/// The forensics-relevant traits of a routing scheme (the obs layer
+/// cannot see [`SchemeKind`], so the mapping lives here).
+pub fn scheme_traits(scheme: SchemeKind) -> SchemeTraits {
+    match scheme {
+        SchemeKind::Direct => SchemeTraits {
+            spray_limited: false,
+            direct_only: true,
+        },
+        SchemeKind::SprayAndWait => SchemeTraits {
+            spray_limited: true,
+            direct_only: false,
+        },
+        SchemeKind::Epidemic
+        | SchemeKind::InterestBased
+        | SchemeKind::InterestPredictive
+        | SchemeKind::Custom(_) => SchemeTraits::default(),
+    }
+}
+
+/// Converts the driver's follower lists (`followers[author_node]` =
+/// indices that subscribe to that node's posts) into the
+/// origin-node → destination-nodes map
+/// [`sos_obs::Provenance::classify`] consumes.
+pub fn follower_destinations(followers: &[Vec<usize>]) -> BTreeMap<u32, Vec<u32>> {
+    followers
+        .iter()
+        .enumerate()
+        .map(|(origin, subs)| {
+            (origin as u32, {
+                let mut dests: Vec<u32> = subs.iter().map(|s| *s as u32).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                dests
+            })
+        })
+        .collect()
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice (`0` when
+/// empty) — integer, so report bytes are platform-stable.
+fn quantile_nearest(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn quantile_line(label: &str, values: &mut [u64]) -> String {
+    values.sort_unstable();
+    format!(
+        "    {label:<10} n={:<6} p50={:<8} p90={:<8} p99={:<8} max={}\n",
+        values.len(),
+        quantile_nearest(values, 0.50),
+        quantile_nearest(values, 0.90),
+        quantile_nearest(values, 0.99),
+        values.last().copied().unwrap_or(0),
+    )
+}
+
+/// The PATH-REPORT for one observed run: the per-scheme delivery
+/// forensics breakdown, hop-count and wait-vs-transfer path-latency
+/// waterfall quantiles, and the top-`top_k` slowest delivered paths.
+///
+/// Everything rendered here is derived from the canonical global
+/// timeline, so the report is byte-identical across record→replay and
+/// across contact-engine shard counts.
+pub fn path_report(
+    title: &str,
+    observation: &RunObservation,
+    followers: &[Vec<usize>],
+    scheme: SchemeKind,
+    top_k: usize,
+) -> String {
+    let provenance = observation.provenance();
+    let destinations = follower_destinations(followers);
+    let forensics = provenance.classify(&destinations, scheme_traits(scheme));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== PATH-REPORT {title} (scheme={scheme:?}) ===\n"
+    ));
+    out.push_str(&format!(
+        "journal: {} entrie(s) retained, {} dropped\n",
+        observation.journal.len(),
+        observation.journal.dropped()
+    ));
+    out.push_str(&format!(
+        "bundles authored {}  delivered {}  undelivered {}\n",
+        forensics.authored(),
+        forensics.delivered(),
+        forensics.undelivered()
+    ));
+    out.push_str(&format!(
+        "delivery obligations reached: {} / {}\n\n",
+        forensics.reached, forensics.targets
+    ));
+
+    out.push_str("why messages died:\n");
+    let causes = forensics.cause_counts();
+    if causes.is_empty() {
+        out.push_str("    (every bundle reached every destination)\n");
+    }
+    for (cause, n) in &causes {
+        out.push_str(&format!("    {:<20} {n}\n", cause.label()));
+    }
+    out.push('\n');
+
+    // Per-(bundle, destination) delivered-path samples, walked in key
+    // order so the report bytes are deterministic.
+    let mut hops: Vec<u64> = Vec::new();
+    let mut totals: Vec<u64> = Vec::new();
+    let mut waits: Vec<u64> = Vec::new();
+    let mut transfers: Vec<u64> = Vec::new();
+    let mut slowest: Vec<(u64, String)> = Vec::new();
+    for (key, path) in &provenance.paths {
+        let Some(origin) = path.origin else { continue };
+        let Some(dests) = destinations.get(&origin) else {
+            continue;
+        };
+        for &dest in dests {
+            if dest == origin {
+                continue;
+            }
+            let Some(latency) = path.latency_ms_to(dest) else {
+                continue;
+            };
+            let Some(chain) = path.path_to(dest) else {
+                continue;
+            };
+            let (mut wait, mut transfer) = (0u64, 0u64);
+            for node in chain.iter().skip(1) {
+                if let Some(arrival) = path.arrivals.get(node) {
+                    wait += arrival.wait_ms;
+                    transfer += arrival.transfer_ms;
+                }
+            }
+            hops.push((chain.len() - 1) as u64);
+            totals.push(latency);
+            waits.push(wait);
+            transfers.push(transfer);
+            let rendered = chain
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            slowest.push((
+                latency,
+                format!(
+                    "{key} to node {dest}: {latency} ms ({} hop(s), wait {wait} / transfer {transfer}): {rendered}"
+                , chain.len() - 1),
+            ));
+        }
+    }
+    out.push_str("delivered-path quantiles:\n");
+    out.push_str(&quantile_line("hops", &mut hops));
+    out.push_str("path-latency waterfall, ms:\n");
+    out.push_str(&quantile_line("total", &mut totals));
+    out.push_str(&quantile_line("wait", &mut waits));
+    out.push_str(&quantile_line("transfer", &mut transfers));
+    out.push('\n');
+
+    out.push_str(&format!("top-{top_k} slowest delivered paths:\n"));
+    // Ties broken by the rendered line (which embeds the bundle key),
+    // keeping the selection deterministic.
+    slowest.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    if slowest.is_empty() {
+        out.push_str("    (no delivered paths)\n");
+    }
+    for (rank, (_, line)) in slowest.iter().take(top_k).enumerate() {
+        out.push_str(&format!("    {}. {line}\n", rank + 1));
+    }
+    out
+}
+
 /// One-line key metrics, used for calibration sweeps:
 /// `transfers 1hop d24 d94 ratio subs>0.8 subs>0.7`.
 pub fn key_line(outcome: &FieldStudyOutcome) -> String {
@@ -470,8 +647,50 @@ pub fn full_report(outcome: &FieldStudyOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{run_field_study, small_test_config};
+    use crate::observe::RunObserver;
+    use crate::scenario::{
+        field_study_followers, run_field_study, run_field_study_observed, small_test_config,
+    };
     use sos_core::routing::SchemeKind;
+
+    #[test]
+    fn path_report_renders_and_forensics_account_for_every_post() {
+        let cfg = small_test_config(3, SchemeKind::Epidemic);
+        let observer = RunObserver::new();
+        let outcome = run_field_study_observed(&cfg, &observer);
+        let observation = observer.finish();
+        let followers = field_study_followers();
+        let report = path_report("field-study", &observation, &followers, cfg.scheme, 5);
+        assert!(report.contains("PATH-REPORT"));
+        assert!(report.contains("why messages died"));
+        assert!(report.contains("path-latency waterfall"));
+        assert!(report.contains("slowest delivered paths"));
+
+        let provenance = observation.provenance();
+        let forensics = provenance.classify(
+            &follower_destinations(&followers),
+            scheme_traits(cfg.scheme),
+        );
+        assert_eq!(forensics.authored() as u64, outcome.totals.posts);
+        assert!(forensics.accounts_for_everything());
+        assert_eq!(forensics.truncated, 0);
+    }
+
+    #[test]
+    fn scheme_traits_match_scheme_semantics() {
+        assert!(scheme_traits(SchemeKind::Direct).direct_only);
+        assert!(scheme_traits(SchemeKind::SprayAndWait).spray_limited);
+        let plain = scheme_traits(SchemeKind::Epidemic);
+        assert!(!plain.direct_only && !plain.spray_limited);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let vals = [10u64, 20, 30, 40, 50];
+        assert_eq!(quantile_nearest(&vals, 0.50), 30);
+        assert_eq!(quantile_nearest(&vals, 0.90), 50);
+        assert_eq!(quantile_nearest(&[], 0.50), 0);
+    }
 
     #[test]
     fn reports_render_without_panicking() {

@@ -264,6 +264,16 @@ where
     drive_field_study(config, apps, source, Some(obs))
 }
 
+/// The field study's follower lists: `followers[author]` = node
+/// indices subscribed to `author`'s posts (the destination sets
+/// delivery forensics classifies against).
+pub fn field_study_followers() -> Vec<Vec<usize>> {
+    let graph = social::field_study_digraph();
+    (0..social::NODES)
+        .map(|author| graph.predecessors(author).to_vec())
+        .collect()
+}
+
 /// The shared back half of every entry point: wire subscriptions,
 /// schedule the post workload, and run the driver over `source`,
 /// optionally with an observer attached.
@@ -278,11 +288,8 @@ where
 {
     let world = source;
     let end = SimTime::from_hours(config.days * 24);
-    let graph = social::field_study_digraph();
     // followers[author] = indices following `author`.
-    let followers: Vec<Vec<usize>> = (0..social::NODES)
-        .map(|author| graph.predecessors(author).to_vec())
-        .collect();
+    let followers = field_study_followers();
 
     let driver_cfg = DriverConfig {
         ad_interval: config.ad_interval,

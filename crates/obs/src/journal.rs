@@ -14,14 +14,40 @@ use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
 /// Default journal capacity (entries) when none is given.
+///
+/// Metropolis-scale runs overflow this ring; size the journal to the
+/// run with [`Journal::with_capacity`] (or
+/// `RunObserver::with_journal_capacity` in `sos-experiments`) and watch
+/// [`Journal::dropped`] — provenance analysis downgrades every verdict
+/// to `JournalTruncated` when it is nonzero rather than guessing from a
+/// partial record.
 pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Packs a 10-byte user id into the `u128` author tag journal events
+/// carry (zero-padded little-endian).
+///
+/// `sos-obs` sits below `sos-core`, so events cannot reference the
+/// `UserId` type itself; the tag is a lossless stand-in that merges and
+/// sorts identically everywhere.
+pub fn author_tag(id: &[u8; 10]) -> u128 {
+    let mut wide = [0u8; 16];
+    wide[..10].copy_from_slice(id);
+    u128::from_le_bytes(wide)
+}
 
 /// One structured observability event.
 ///
 /// Variants mirror the decision points of the middleware and driver:
-/// session lifecycle, the `receive_bundle` accept/duplicate/reject
-/// outcome (with cause), store eviction, the sync protocol's want/serve
-/// exchange, and contact up/down edges from the mobility layer.
+/// session lifecycle, bundle authorship, the `receive_bundle`
+/// accept/duplicate/reject outcome (with cause), store eviction (both
+/// the per-sweep aggregate and the per-bundle record), the sync
+/// protocol's want/serve exchange, and contact up/down edges from the
+/// mobility layer.
+///
+/// Bundle events carry the message identity (`author` tag from
+/// [`author_tag`] plus the author-assigned sequence number) and — on
+/// accepts — the transfer peer id, so the [`provenance`](crate::provenance)
+/// layer can stitch per-node journals into per-bundle propagation DAGs.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ObsEvent {
     /// A secure session reached the established state.
@@ -39,27 +65,62 @@ pub enum ObsEvent {
         /// `"protocol_error"`, `"security_failure"`, `"send_failure"`).
         reason: &'static str,
     },
-    /// A received bundle was verified and stored.
+    /// This node authored (posted) a new bundle — the root of the
+    /// bundle's propagation DAG.
+    BundlePost {
+        /// Author tag ([`author_tag`] of the posting user).
+        author: u128,
+        /// Author-assigned message number.
+        seq: u64,
+    },
+    /// A received bundle was verified (and, when `stored`, kept).
     BundleAccept {
-        /// Sending peer.
+        /// Sending peer — the transfer edge's source node.
         from: u32,
-        /// Bundles now carried after the accept.
+        /// Author tag of the bundle's message.
+        author: u128,
+        /// Author-assigned message number.
+        seq: u64,
+        /// Hop count of the received copy (after this hop).
+        hops: u32,
+        /// Whether the routing scheme kept the copy (custody) or the
+        /// bundle was only surfaced to the application.
+        stored: bool,
+        /// Bundles carried after the accept.
         carried: usize,
     },
     /// A received bundle was already carried (benign duplicate).
     BundleDuplicate {
         /// Sending peer.
         from: u32,
+        /// Author tag of the bundle's message.
+        author: u128,
+        /// Author-assigned message number.
+        seq: u64,
     },
     /// A received bundle was rejected.
     BundleReject {
         /// Sending peer.
         from: u32,
+        /// Author tag of the bundle's message.
+        author: u128,
+        /// Author-assigned message number.
+        seq: u64,
         /// Why (`"forged_duplicate"`, `"equivocation"`,
         /// `"verify_failed"`).
         cause: &'static str,
     },
-    /// The store evicted bundles (TTL expiry or capacity pressure).
+    /// One stored bundle was evicted from this node's store.
+    BundleEvict {
+        /// Author tag of the evicted message.
+        author: u128,
+        /// Author-assigned message number.
+        seq: u64,
+        /// Why (`"ttl"` expiry or `"capacity"` pressure).
+        cause: &'static str,
+    },
+    /// The store evicted bundles (per-sweep aggregate; the individual
+    /// [`ObsEvent::BundleEvict`] records precede it).
     StoreEvict {
         /// How many bundles were evicted in this sweep.
         count: usize,
@@ -104,9 +165,11 @@ impl ObsEvent {
         match self {
             ObsEvent::SessionOpen { .. } => "session_open",
             ObsEvent::SessionClose { .. } => "session_close",
+            ObsEvent::BundlePost { .. } => "bundle_post",
             ObsEvent::BundleAccept { .. } => "bundle_accept",
             ObsEvent::BundleDuplicate { .. } => "bundle_duplicate",
             ObsEvent::BundleReject { .. } => "bundle_reject",
+            ObsEvent::BundleEvict { .. } => "bundle_evict",
             ObsEvent::StoreEvict { .. } => "store_evict",
             ObsEvent::WantSent { .. } => "want_sent",
             ObsEvent::Served { .. } => "served",
@@ -115,7 +178,7 @@ impl ObsEvent {
         }
     }
 
-    fn fields_jsonl(&self, out: &mut String) {
+    pub(crate) fn fields_jsonl(&self, out: &mut String) {
         match self {
             ObsEvent::SessionOpen { peer, initiated } => {
                 let _ = write!(out, r#","peer":{peer},"initiated":{initiated}"#);
@@ -123,14 +186,44 @@ impl ObsEvent {
             ObsEvent::SessionClose { peer, reason } => {
                 let _ = write!(out, r#","peer":{peer},"reason":"{reason}""#);
             }
-            ObsEvent::BundleAccept { from, carried } => {
-                let _ = write!(out, r#","from":{from},"carried":{carried}"#);
+            ObsEvent::BundlePost { author, seq } => {
+                let _ = write!(out, r#","author":"{author:032x}","seq":{seq}"#);
             }
-            ObsEvent::BundleDuplicate { from } => {
-                let _ = write!(out, r#","from":{from}"#);
+            ObsEvent::BundleAccept {
+                from,
+                author,
+                seq,
+                hops,
+                stored,
+                carried,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","from":{from},"author":"{author:032x}","seq":{seq},"hops":{hops},"stored":{stored},"carried":{carried}"#
+                );
             }
-            ObsEvent::BundleReject { from, cause } => {
-                let _ = write!(out, r#","from":{from},"cause":"{cause}""#);
+            ObsEvent::BundleDuplicate { from, author, seq } => {
+                let _ = write!(
+                    out,
+                    r#","from":{from},"author":"{author:032x}","seq":{seq}"#
+                );
+            }
+            ObsEvent::BundleReject {
+                from,
+                author,
+                seq,
+                cause,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","from":{from},"author":"{author:032x}","seq":{seq},"cause":"{cause}""#
+                );
+            }
+            ObsEvent::BundleEvict { author, seq, cause } => {
+                let _ = write!(
+                    out,
+                    r#","author":"{author:032x}","seq":{seq},"cause":"{cause}""#
+                );
             }
             ObsEvent::StoreEvict { count } => {
                 let _ = write!(out, r#","count":{count}"#);
@@ -173,6 +266,66 @@ pub struct JournalEntry {
     pub event: ObsEvent,
 }
 
+/// Re-interns a tag string produced by [`JournalEntry::to_jsonl`] back
+/// into the `&'static str` vocabulary the event variants carry.
+fn intern_tag(s: &str) -> Option<&'static str> {
+    const TAGS: &[&str] = &[
+        // session close reasons
+        "done",
+        "out_of_range",
+        "protocol_error",
+        "security_failure",
+        "send_failure",
+        // bundle reject causes
+        "forged_duplicate",
+        "equivocation",
+        "verify_failed",
+        // bundle evict causes
+        "ttl",
+        "capacity",
+    ];
+    TAGS.iter().find(|t| **t == s).copied()
+}
+
+/// One parsed field value from a JSONL journal line.
+enum JsonVal<'a> {
+    Num(u128),
+    Bool(bool),
+    Str(&'a str),
+}
+
+/// Scans the flat `"key":value` pairs of one journal JSONL line.
+///
+/// The journal's writer emits no nesting, no escapes, and no spaces, so
+/// a simple splitter is exact (not a general JSON parser).
+fn scan_fields(line: &str) -> Option<Vec<(&str, JsonVal<'_>)>> {
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::with_capacity(8);
+    let mut rest = body;
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let key_end = rest.find('"')?;
+        let (key, tail) = rest.split_at(key_end);
+        rest = tail.strip_prefix("\":")?;
+        let (val, tail) = if let Some(sr) = rest.strip_prefix('"') {
+            let end = sr.find('"')?;
+            (JsonVal::Str(&sr[..end]), &sr[end + 1..])
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let raw = &rest[..end];
+            let val = match raw {
+                "true" => JsonVal::Bool(true),
+                "false" => JsonVal::Bool(false),
+                _ => JsonVal::Num(raw.parse().ok()?),
+            };
+            (val, &rest[end..])
+        };
+        fields.push((key, val));
+        rest = tail.strip_prefix(',').unwrap_or(tail);
+    }
+    Some(fields)
+}
+
 impl JournalEntry {
     /// Renders the entry as one JSONL line (no trailing newline).
     ///
@@ -190,6 +343,104 @@ impl JournalEntry {
         self.event.fields_jsonl(&mut out);
         out.push('}');
         out
+    }
+
+    /// Parses one line produced by [`JournalEntry::to_jsonl`] back into
+    /// an entry, or `None` when the line is malformed or the event kind
+    /// / tag vocabulary is unknown.
+    ///
+    /// Round-tripping is exact: `from_jsonl(&e.to_jsonl()) == Some(e)`
+    /// for every representable entry, which lets exported flight
+    /// recordings feed the provenance layer offline.
+    pub fn from_jsonl(line: &str) -> Option<JournalEntry> {
+        let fields = scan_fields(line.trim())?;
+        let num = |key: &str| {
+            fields.iter().find_map(|(k, v)| match v {
+                JsonVal::Num(n) if *k == key => Some(*n),
+                _ => None,
+            })
+        };
+        let string = |key: &str| {
+            fields.iter().find_map(|(k, v)| match v {
+                JsonVal::Str(s) if *k == key => Some(*s),
+                _ => None,
+            })
+        };
+        let boolean = |key: &str| {
+            fields.iter().find_map(|(k, v)| match v {
+                JsonVal::Bool(b) if *k == key => Some(*b),
+                _ => None,
+            })
+        };
+        let u32of = |key: &str| num(key).and_then(|n| u32::try_from(n).ok());
+        let u64of = |key: &str| num(key).and_then(|n| u64::try_from(n).ok());
+        let usizeof = |key: &str| num(key).and_then(|n| usize::try_from(n).ok());
+        let author = || u128::from_str_radix(string("author")?, 16).ok();
+        let tag = |key: &str| intern_tag(string(key)?);
+
+        let time = SimTime::from_millis(u64of("t_ms")?);
+        let node = u32of("node")?;
+        let event = match string("event")? {
+            "session_open" => ObsEvent::SessionOpen {
+                peer: u32of("peer")?,
+                initiated: boolean("initiated")?,
+            },
+            "session_close" => ObsEvent::SessionClose {
+                peer: u32of("peer")?,
+                reason: tag("reason")?,
+            },
+            "bundle_post" => ObsEvent::BundlePost {
+                author: author()?,
+                seq: u64of("seq")?,
+            },
+            "bundle_accept" => ObsEvent::BundleAccept {
+                from: u32of("from")?,
+                author: author()?,
+                seq: u64of("seq")?,
+                hops: u32of("hops")?,
+                stored: boolean("stored")?,
+                carried: usizeof("carried")?,
+            },
+            "bundle_duplicate" => ObsEvent::BundleDuplicate {
+                from: u32of("from")?,
+                author: author()?,
+                seq: u64of("seq")?,
+            },
+            "bundle_reject" => ObsEvent::BundleReject {
+                from: u32of("from")?,
+                author: author()?,
+                seq: u64of("seq")?,
+                cause: tag("cause")?,
+            },
+            "bundle_evict" => ObsEvent::BundleEvict {
+                author: author()?,
+                seq: u64of("seq")?,
+                cause: tag("cause")?,
+            },
+            "store_evict" => ObsEvent::StoreEvict {
+                count: usizeof("count")?,
+            },
+            "want_sent" => ObsEvent::WantSent {
+                peer: u32of("peer")?,
+                authors: usizeof("authors")?,
+                chunks: usizeof("chunks")?,
+            },
+            "served" => ObsEvent::Served {
+                peer: u32of("peer")?,
+                bundles: usizeof("bundles")?,
+                frames: usizeof("frames")?,
+            },
+            "contact_up" => ObsEvent::ContactUp {
+                a: u32of("a")?,
+                b: u32of("b")?,
+            },
+            "contact_down" => ObsEvent::ContactDown {
+                a: u32of("a")?,
+                b: u32of("b")?,
+            },
+            _ => return None,
+        };
+        Some(JournalEntry { time, node, event })
     }
 }
 
@@ -243,8 +494,18 @@ impl Journal {
     }
 
     /// Entries evicted due to capacity pressure.
+    ///
+    /// Nonzero means the retained window is *not* the whole run:
+    /// downstream analysis (see [`crate::provenance`]) must report
+    /// `JournalTruncated` instead of inferring causes from a partial
+    /// record.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Maximum entries this ring retains before dropping the oldest.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Renders every retained entry as JSONL (one entry per line).
@@ -395,12 +656,84 @@ mod tests {
             node: 3,
             event: ObsEvent::BundleReject {
                 from: 9,
+                author: 0xab,
+                seq: 7,
                 cause: "equivocation",
             },
         };
         assert_eq!(
             e.to_jsonl(),
-            r#"{"t_ms":1500,"node":3,"event":"bundle_reject","from":9,"cause":"equivocation"}"#
+            r#"{"t_ms":1500,"node":3,"event":"bundle_reject","from":9,"author":"000000000000000000000000000000ab","seq":7,"cause":"equivocation"}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let author = author_tag(b"alice-0001");
+        let events = vec![
+            ObsEvent::SessionOpen {
+                peer: 4,
+                initiated: true,
+            },
+            ObsEvent::SessionClose {
+                peer: 4,
+                reason: "out_of_range",
+            },
+            ObsEvent::BundlePost { author, seq: 1 },
+            ObsEvent::BundleAccept {
+                from: 2,
+                author,
+                seq: 1,
+                hops: 3,
+                stored: false,
+                carried: 17,
+            },
+            ObsEvent::BundleDuplicate {
+                from: 2,
+                author,
+                seq: 1,
+            },
+            ObsEvent::BundleReject {
+                from: 2,
+                author,
+                seq: 1,
+                cause: "verify_failed",
+            },
+            ObsEvent::BundleEvict {
+                author,
+                seq: 1,
+                cause: "capacity",
+            },
+            ObsEvent::StoreEvict { count: 9 },
+            ObsEvent::WantSent {
+                peer: 4,
+                authors: 2,
+                chunks: 5,
+            },
+            ObsEvent::Served {
+                peer: 4,
+                bundles: 11,
+                frames: 1,
+            },
+            ObsEvent::ContactUp { a: 0, b: 1 },
+            ObsEvent::ContactDown { a: 0, b: 1 },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            let entry = JournalEntry {
+                time: t(100 + i as u64),
+                node: i as u32,
+                event,
+            };
+            assert_eq!(
+                JournalEntry::from_jsonl(&entry.to_jsonl()),
+                Some(entry),
+                "variant {i} must round-trip"
+            );
+        }
+        assert_eq!(JournalEntry::from_jsonl("not json"), None);
+        assert_eq!(
+            JournalEntry::from_jsonl(r#"{"t_ms":1,"node":0,"event":"mystery"}"#),
+            None
         );
     }
 
@@ -412,6 +745,8 @@ mod tests {
             t(0),
             ObsEvent::BundleReject {
                 from: 2,
+                author: 1,
+                seq: 1,
                 cause: "verify_failed",
             },
         );
@@ -419,6 +754,8 @@ mod tests {
             t(1),
             ObsEvent::BundleReject {
                 from: 2,
+                author: 1,
+                seq: 2,
                 cause: "verify_failed",
             },
         );

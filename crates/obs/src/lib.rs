@@ -17,8 +17,17 @@
 //!   decisions, contact up/down) scoped per node, with JSONL export:
 //!   every experiment's queryable "flight recorder".
 //! * [`profile`] — span-style self-profiling around the driver tick,
-//!   encounter sync, the `receive_bundle` verify pipeline, and the
-//!   codec/import paths, aggregated into a calls/total/mean/max table.
+//!   encounter sync, the `receive_bundle` verify pipeline, the
+//!   codec/import paths, and the sharded contact engine's
+//!   partition/step/handoff/merge phases, aggregated into a
+//!   calls/total/mean/max table.
+//! * [`provenance`] — the cross-node layer on top of [`journal`]: merge
+//!   every node's entries into one deterministically ordered
+//!   [`GlobalTimeline`], reconstruct per-bundle propagation DAGs
+//!   ([`BundlePath`]: author → relay → … → destination, with
+//!   wait-vs-transfer latency splits per hop), and classify every
+//!   undelivered bundle with exactly one [`DropCause`] (delivery
+//!   forensics).
 //!
 //! ## Determinism rules
 //!
@@ -36,8 +45,13 @@
 
 pub mod journal;
 pub mod profile;
+pub mod provenance;
 pub mod registry;
 
-pub use journal::{Journal, JournalEntry, JournalHandle, NodeObs, ObsEvent};
+pub use journal::{author_tag, Journal, JournalEntry, JournalHandle, NodeObs, ObsEvent};
 pub use profile::{Profile, StageStats};
+pub use provenance::{
+    Arrival, BundleKey, BundlePath, Contact, DropCause, Forensics, GlobalTimeline, Provenance,
+    SchemeTraits, TimelineEvent, Verdict,
+};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};

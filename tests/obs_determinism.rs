@@ -9,12 +9,18 @@
 //! delay records, same frame counters.
 
 use sos::core::routing::SchemeKind;
+use sos::engine::{ShardConfig, ShardedContactEngine};
 use sos::experiments::observe::RunObserver;
 use sos::experiments::replay::{
     delivered_set, record_field_study_trace, replay_field_study, replay_field_study_observed,
 };
-use sos::experiments::scenario::small_test_config;
+use sos::experiments::report::path_report;
+use sos::experiments::scenario::{
+    field_study_followers, field_study_trajectories, run_field_study_observed,
+    run_field_study_with_observed, small_test_config,
+};
 use sos::obs::journal::ObsEvent;
+use sos::sim::radio::RadioTech;
 
 #[test]
 fn instrumented_replay_is_byte_identical_for_every_scheme() {
@@ -84,4 +90,81 @@ fn observed_journal_is_deterministic_across_runs() {
     let jb = b.finish().journal;
     assert_eq!(ja.to_jsonl(), jb.to_jsonl(), "journal must be reproducible");
     assert_eq!(a.finish().metrics, b.finish().metrics);
+}
+
+/// The PATH-REPORT (provenance DAGs + delivery forensics, PR 9) is a
+/// pure function of the journal, so the record→replay ground truth
+/// extends to it: the report rendered from a live observed run and
+/// from an observed replay of its recorded tape must be byte-identical
+/// for every scheme.
+#[test]
+fn path_report_is_byte_identical_across_record_and_replay() {
+    let mut cfg = small_test_config(17, SchemeKind::Epidemic);
+    cfg.days = 1;
+    cfg.total_posts = 25;
+    let trace = record_field_study_trace(&cfg);
+    let followers = field_study_followers();
+
+    for scheme in SchemeKind::ALL {
+        let mut cfg = cfg.clone();
+        cfg.scheme = scheme;
+
+        let live_obs = RunObserver::new();
+        run_field_study_observed(&cfg, &live_obs);
+        let live = path_report("live", &live_obs.finish(), &followers, scheme, 5);
+
+        let replay_obs = RunObserver::new();
+        replay_field_study_observed(&cfg, &trace, &replay_obs);
+        let replayed = path_report("live", &replay_obs.finish(), &followers, scheme, 5);
+
+        assert_eq!(
+            live, replayed,
+            "{scheme:?}: PATH-REPORT diverged between live run and replay"
+        );
+        assert!(
+            live.contains("why messages died"),
+            "{scheme:?}: empty report"
+        );
+    }
+}
+
+/// The PATH-REPORT is also shard-count invariant: feeding the field
+/// study from the sharded contact engine at K=1 and K=4 (different
+/// thread counts too) must render byte-identical reports, because the
+/// merged encounter stream — and hence the journal — is canonical.
+#[test]
+fn path_report_is_byte_identical_across_shard_counts() {
+    let mut cfg = small_test_config(23, SchemeKind::InterestBased);
+    cfg.days = 1;
+    cfg.total_posts = 25;
+    let trajectories = field_study_trajectories(&cfg);
+    let range_m = RadioTech::max_range_m(cfg.infra_available);
+    let followers = field_study_followers();
+
+    let mut reports = Vec::new();
+    for (shards, threads) in [(1usize, 1usize), (4, 2)] {
+        let source = ShardedContactEngine::from_trajectories(
+            &trajectories,
+            range_m,
+            cfg.contact_tick,
+            ShardConfig {
+                shards,
+                epoch_ticks: 8,
+                threads,
+            },
+        );
+        let observer = RunObserver::new();
+        run_field_study_with_observed(&cfg, source, &observer);
+        reports.push(path_report(
+            "sharded",
+            &observer.finish(),
+            &followers,
+            cfg.scheme,
+            5,
+        ));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "PATH-REPORT diverged between shard counts K=1 and K=4"
+    );
 }
