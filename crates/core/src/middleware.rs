@@ -192,14 +192,11 @@ impl StatCells {
     }
 }
 
-/// Renders a disconnect reason as the journal's stable tag vocabulary.
+/// Renders a disconnect reason as the journal's stable tag vocabulary
+/// (the canonical mapping lives on [`DisconnectReason`] so transports
+/// report identically).
 fn reason_tag(reason: DisconnectReason) -> &'static str {
-    match reason {
-        DisconnectReason::OutOfRange => "out_of_range",
-        DisconnectReason::SecurityFailure => "security_failure",
-        DisconnectReason::Done => "done",
-        DisconnectReason::ProtocolError => "protocol_error",
-    }
+    reason.as_tag()
 }
 
 /// Events surfaced to the overlay application (§III-A: applications are
@@ -724,13 +721,11 @@ impl Sos {
                 ));
             }
             Err(e) => {
-                let security = matches!(
-                    e,
-                    NetError::Certificate(_)
-                        | NetError::BadHandshakeSignature
-                        | NetError::Crypto(_)
-                );
-                if security {
+                // The shared teardown classification (also recorded by
+                // `SessionEndpoint::close_reason`): journal tags and the
+                // goodbye frame stay in lockstep with the transport's view.
+                let reason = DisconnectReason::for_error(&e);
+                if reason == DisconnectReason::SecurityFailure {
                     self.stats.security_rejections.inc();
                     self.stats.security_alerts.inc();
                     self.events.push_back(SosEvent::SecurityAlert {
@@ -745,26 +740,13 @@ impl Sos {
                     now,
                     ObsEvent::SessionClose {
                         peer: from.0,
-                        reason: if security {
-                            "security_failure"
-                        } else {
-                            "protocol_error"
-                        },
+                        reason: reason.as_tag(),
                     },
                 );
                 self.pending_interests.remove(&from);
                 self.pending_dones.remove(&from);
                 self.browse_progress.remove(&from);
-                out.push((
-                    from,
-                    Frame::Disconnect {
-                        reason: if security {
-                            DisconnectReason::SecurityFailure
-                        } else {
-                            DisconnectReason::ProtocolError
-                        },
-                    },
-                ));
+                out.push((from, Frame::Disconnect { reason }));
             }
         }
     }

@@ -29,7 +29,6 @@ use sos_core::routing::SchemeKind;
 use sos_net::PeerId;
 use sos_sim::{EncounterSource, SimDuration, SimTime};
 use sos_trace::{ContactTrace, TraceContactSource};
-use std::collections::BTreeSet;
 
 /// Corpus-study parameters (the trace supplies population and span).
 #[derive(Clone, Debug)]
@@ -92,23 +91,12 @@ impl CorpusOutcome {
 /// the nodes following `a`, namely every node that ever shared a
 /// contact with `a` in the trace (mutual follows on the aggregate
 /// contact graph).
+///
+/// The canonical implementation lives in `sos_node::provision` — the
+/// in-vivo daemons must derive the identical digraph from the same
+/// trace; this re-export keeps the historical `experiments` path alive.
 pub fn followers_from_trace(trace: &ContactTrace) -> Vec<Vec<usize>> {
-    // Dedup via a pair set: hub nodes in full-size corpora have large
-    // degrees, so a per-interval Vec::contains scan would go quadratic.
-    let pairs: BTreeSet<(usize, usize)> = trace
-        .intervals(trace.end_time())
-        .iter()
-        .map(|iv| (iv.a, iv.b))
-        .collect();
-    let mut followers: Vec<Vec<usize>> = vec![Vec::new(); trace.node_count()];
-    for (a, b) in pairs {
-        followers[a].push(b);
-        followers[b].push(a);
-    }
-    for list in &mut followers {
-        list.sort_unstable();
-    }
-    followers
+    sos_node::provision::followers_from_trace(trace)
 }
 
 /// Everything a corpus run produced: the summary [`CorpusOutcome`],

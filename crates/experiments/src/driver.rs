@@ -14,12 +14,24 @@
 //! overlay, never for behavior. Two sources emitting the same timeline
 //! therefore produce byte-identical runs, which is what makes
 //! `sos-trace` record→replay exact (see `experiments::replay`).
+//!
+//! **Sans-I/O split:** the middleware loop itself — session
+//! lifecycles, advertisement cadence, peer connectivity — lives in
+//! [`sos_node::runtime::NodeRuntime`], the same state machine the
+//! in-vivo TCP daemons run. The driver is a thin client that adds the
+//! physics the paper's field study had for free: link selection by
+//! distance, loss, serialization delay, and in-order delivery per
+//! directed link. Frames cross the boundary via the runtime's *typed*
+//! surface (`push_frame_in` / `poll_frames`) with the driver's shared
+//! RNG, so the refactor changes no byte of any recorded run.
 
 use alleyoop::app::AlleyOopApp;
 use rand::SeedableRng;
 use sos_core::message::MessageKind;
 use sos_core::middleware::{SosEvent, SosStats};
 use sos_net::{Frame, LinkModel, PeerId};
+use sos_node::provision::ad_phase;
+use sos_node::runtime::{NodeConfig, NodeRuntime};
 use sos_obs::journal::ObsEvent;
 use sos_obs::{Histogram, JournalEntry, JournalHandle, NodeObs, Registry};
 use sos_sim::metrics::{DelayRecorder, DeliveryRecorder};
@@ -116,7 +128,9 @@ pub struct RunMetrics {
 /// naive [`World`] scan, on `sos-engine`'s grid-indexed kernel, or on
 /// a `sos-trace` recorded/synthetic trace replay.
 pub struct Driver<C: EncounterSource = World> {
-    apps: Vec<AlleyOopApp>,
+    /// One sans-I/O runtime per node: the middleware loop the in-vivo
+    /// daemons run verbatim, driven here through its typed surface.
+    nodes: Vec<NodeRuntime>,
     source: C,
     /// follower sets: `follows[author] = set of follower node indices`.
     followers: Vec<Vec<usize>>,
@@ -174,8 +188,26 @@ impl<C: EncounterSource> Driver<C> {
             .map(|(i, app)| (app.user_id(), i))
             .collect();
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let n = apps.len();
+        let nodes = apps
+            .into_iter()
+            .enumerate()
+            .map(|(i, app)| {
+                NodeRuntime::new(
+                    app,
+                    NodeConfig {
+                        ad_interval: config.ad_interval,
+                        ad_phase: ad_phase(config.ad_interval, i, n),
+                        // The runtime-internal RNG backs only the byte
+                        // surface; the driver injects its shared RNG on
+                        // every typed call, so this seed is inert here.
+                        seed: config.seed,
+                    },
+                )
+            })
+            .collect();
         Driver {
-            apps,
+            nodes,
             source,
             followers,
             user_index,
@@ -197,8 +229,8 @@ impl<C: EncounterSource> Driver<C> {
     /// `driver/frame_bytes` and `driver/delivery_delay_ms` histograms.
     /// Purely passive: an observed run is byte-identical to a blind one.
     pub fn attach_observer(&mut self, registry: &Registry, journal: &JournalHandle) {
-        for (i, app) in self.apps.iter_mut().enumerate() {
-            let mw = app.middleware_mut();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let mw = node.app_mut().middleware_mut();
             mw.attach_obs(NodeObs::new(i as u32, journal.clone()));
             mw.register_metrics(registry, &format!("node{i}/sos"));
         }
@@ -246,11 +278,12 @@ impl<C: EncounterSource> Driver<C> {
     /// Schedules the periodic advertisement broadcasts for every node,
     /// phase-shifted so simultaneous session collisions are rare.
     fn schedule_advertisements(&mut self) {
-        let n = self.apps.len() as u64;
-        for node in 0..self.apps.len() {
-            // Phase-stagger nodes across the interval.
-            let phase = self.config.ad_interval.as_millis() * node as u64 / n.max(1);
-            let mut t = SimTime::from_millis(phase);
+        let n = self.nodes.len();
+        for node in 0..n {
+            // Phase-stagger nodes across the interval (the same offset
+            // the node's runtime was configured with, so every scheduled
+            // wake lands exactly on one of its ad boundaries).
+            let mut t = SimTime::ZERO + ad_phase(self.config.ad_interval, node, n);
             while t <= self.end {
                 self.enqueue(t, Event::Advertise(node));
                 t += self.config.ad_interval;
@@ -307,18 +340,21 @@ impl<C: EncounterSource> Driver<C> {
                     let _span = sos_obs::profile::span("driver/contact");
                     self.links.insert(a, b, distance_m);
                     self.note_contact(now, a, b, true);
+                    self.nodes[a].on_encounter_up(PeerId(b as u32));
+                    self.nodes[b].on_encounter_up(PeerId(a as u32));
                 }
                 Event::ContactDown { a, b } => {
                     let _span = sos_obs::profile::span("driver/contact");
                     self.links.remove(a, b);
                     self.note_contact(now, a, b, false);
-                    self.apps[a].middleware_mut().on_peer_lost(PeerId(b as u32));
-                    self.apps[b].middleware_mut().on_peer_lost(PeerId(a as u32));
+                    self.nodes[a].on_encounter_down(PeerId(b as u32));
+                    self.nodes[b].on_encounter_down(PeerId(a as u32));
                 }
             }
         }
         self.export_metrics();
-        (self.metrics, self.apps)
+        let apps = self.nodes.into_iter().map(NodeRuntime::into_app).collect();
+        (self.metrics, apps)
     }
 
     /// Mirrors the final [`RunMetrics`] totals into the registry
@@ -338,20 +374,15 @@ impl<C: EncounterSource> Driver<C> {
             .add(self.metrics.delays.len() as u64);
     }
 
-    /// The peers currently connected to `node`, from the link table's
-    /// per-node adjacency index (O(degree), not O(open links)).
-    fn connected_peers(&self, node: usize) -> Vec<usize> {
-        self.links.peers_of(node).to_vec()
-    }
-
+    /// An advertisement wake: the runtime advances to `now` (an exact
+    /// ad boundary by construction of [`Self::schedule_advertisements`])
+    /// and emits the broadcast to its in-range peers — ascending, the
+    /// order the link table's sorted adjacency produced before the
+    /// sans-I/O split. The driver then gives each copy its physics.
     fn on_advertise(&mut self, node: usize, now: SimTime) {
-        let in_range = self.connected_peers(node);
-        if in_range.is_empty() {
-            return;
-        }
-        let ad = self.apps[node].middleware().advertisement(now);
-        for dst in in_range {
-            self.transmit(node, dst, Frame::Advertisement(ad.clone()), now);
+        self.nodes[node].advance_to(now);
+        for (to, frame) in self.nodes[node].poll_frames() {
+            self.transmit(node, to.0 as usize, frame, now);
         }
     }
 
@@ -384,25 +415,23 @@ impl<C: EncounterSource> Driver<C> {
     }
 
     fn on_deliver(&mut self, src: usize, dst: usize, frame: Frame, now: SimTime) {
-        if !self.links.connected(src, dst) {
-            return; // contact closed mid-flight
+        // The runtime's peer set mirrors the link table (both fed by the
+        // same contact transitions), so its gate drops frames whose
+        // contact closed mid-flight exactly as the old `connected`
+        // check did.
+        if !self.nodes[dst].push_frame_in(PeerId(src as u32), frame, now, &mut self.rng) {
+            return;
         }
-        let replies = self.apps[dst].middleware_mut().handle_frame(
-            PeerId(src as u32),
-            frame,
-            now,
-            &mut self.rng,
-        );
-        self.collect_app_events(dst, now);
-        for (to, f) in replies {
+        self.collect_app_events(dst);
+        for (to, f) in self.nodes[dst].poll_frames() {
             self.transmit(dst, to.0 as usize, f, now);
         }
     }
 
     fn on_post(&mut self, node: usize, now: SimTime) {
         let n = self.metrics.posts + 1;
-        let text = format!("post #{n} by {}", self.apps[node].handle());
-        self.apps[node].post(&text, now);
+        let text = format!("post #{n} by {}", self.nodes[node].app().handle());
+        self.nodes[node].post(&text, now);
         self.metrics.posts += 1;
         if let Some(pos) = self.source.node_position(node, now) {
             self.metrics.map.push(MapEvent {
@@ -416,9 +445,9 @@ impl<C: EncounterSource> Driver<C> {
         }
     }
 
-    fn collect_app_events(&mut self, node: usize, now: SimTime) {
-        let events = self.apps[node].process_events_at(now);
-        for event in events {
+    fn collect_app_events(&mut self, node: usize) {
+        let events = self.nodes[node].take_events();
+        for (now, event) in events {
             match event {
                 SosEvent::MessageReceived {
                     id,
@@ -458,7 +487,11 @@ impl<C: EncounterSource> Driver<C> {
     /// via the returned apps; exposed here for mid-run inspection in
     /// tests).
     pub fn total_stats(&self) -> SosStats {
-        aggregate_stats(&self.apps)
+        let mut total = SosStats::default();
+        for node in &self.nodes {
+            total.merge(&node.stats());
+        }
+        total
     }
 }
 
@@ -474,15 +507,16 @@ pub fn aggregate_stats(apps: &[AlleyOopApp]) -> SosStats {
 
 /// The live link table: open contacts keyed by normalized `(lo, hi)`
 /// pair with the distance frozen at contact-up, plus a per-node
-/// adjacency index so [`Driver::connected_peers`] is O(degree) instead
-/// of scanning every open link (the full-corpus runs open tens of
-/// thousands of links while a node's degree stays in single digits).
+/// adjacency index kept O(degree) instead of scanning every open link
+/// (the full-corpus runs open tens of thousands of links while a
+/// node's degree stays in single digits).
 ///
 /// Peer lists are kept sorted ascending — exactly the order the old
 /// full scan over ascending `(lo, hi)` keys produced (partners below
-/// the node first, then partners above, both ascending), so replacing
-/// the scan changes no advertisement order and replay byte-identity
-/// holds.
+/// the node first, then partners above, both ascending). The runtime's
+/// `BTreeSet` peer set emits advertisements in the same ascending
+/// order, so the sans-I/O split changes no advertisement order and
+/// replay byte-identity holds.
 #[derive(Debug, Default)]
 struct LinkTable {
     /// Frozen up-distance per open contact, normalized `(lo, hi)` keys.
@@ -518,12 +552,16 @@ impl LinkTable {
         self.links.get(&(a.min(b), a.max(b))).copied()
     }
 
-    /// Whether the `a`–`b` contact is open.
+    /// Whether the `a`–`b` contact is open. Production connectivity
+    /// gating moved into `NodeRuntime`'s peer set (fed by the same
+    /// transitions); the table's view is kept for its invariant tests.
+    #[cfg(test)]
     fn connected(&self, a: usize, b: usize) -> bool {
         self.links.contains_key(&(a.min(b), a.max(b)))
     }
 
     /// The peers currently connected to `node`, ascending.
+    #[cfg(test)]
     fn peers_of(&self, node: usize) -> &[usize] {
         self.adj.get(&node).map_or(&[], Vec::as_slice)
     }

@@ -282,10 +282,18 @@ pub fn corpus_scheme_table(outcomes: &[CorpusOutcome]) -> String {
 /// Per-node middleware counters, one row per app — the per-scheme ×
 /// per-node view of a run.
 pub fn per_node_table(apps: &[AlleyOopApp]) -> String {
+    let stats: Vec<sos_core::middleware::SosStats> =
+        apps.iter().map(|app| app.middleware().stats()).collect();
+    stats_table(&stats)
+}
+
+/// [`per_node_table`] over bare counter slices — the form an in-vivo
+/// broker hands back, where the apps live in other OS processes and
+/// only their [`SosStats`](sos_core::middleware::SosStats) come home.
+pub fn stats_table(stats: &[sos_core::middleware::SosStats]) -> String {
     let mut out = String::new();
     out.push_str("node   posts   sent   recv    dup    rej  alert  s_ini  s_acc  served frames\n");
-    for (i, app) in apps.iter().enumerate() {
-        let s = app.middleware().stats();
+    for (i, s) in stats.iter().enumerate() {
         out.push_str(&format!(
             "{i:<5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6}\n",
             s.posts,
@@ -301,8 +309,8 @@ pub fn per_node_table(apps: &[AlleyOopApp]) -> String {
         ));
     }
     let mut total = sos_core::middleware::SosStats::default();
-    for app in apps {
-        total.merge(&app.middleware().stats());
+    for s in stats {
+        total.merge(s);
     }
     out.push_str(&format!(
         "total {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6}\n",
@@ -317,6 +325,28 @@ pub fn per_node_table(apps: &[AlleyOopApp]) -> String {
         total.requests_served,
         total.sync_frames_sent,
     ));
+    out
+}
+
+/// Renders an `IN-VIVO-REPORT` for a real-socket run: the header line,
+/// the per-node counter table, and the delivered set, all derived from
+/// deterministically ordered collections so two runs of the same plan
+/// diff clean.
+pub fn in_vivo_report(outcome: &sos_node::InVivoOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "IN-VIVO-REPORT nodes={} posts={} rounds={} deliveries={} journal_lines={}\n",
+        outcome.stats.len(),
+        outcome.posts,
+        outcome.rounds,
+        outcome.delivered.len(),
+        outcome.journal.len(),
+    ));
+    out.push_str(&stats_table(&outcome.stats));
+    out.push_str("delivered:\n");
+    for (node, author, number) in &outcome.delivered {
+        out.push_str(&format!("    node {node} <- author {author} #{number}\n"));
+    }
     out
 }
 

@@ -31,7 +31,18 @@ impl Config {
             // trace ingestion return errors; nothing must regress it),
             // the experiment harness that CI smoke-runs, and sos-lint
             // itself (the gate must not be able to take CI down).
-            panic_crates: s(&["core", "net", "trace", "crypto", "experiments", "lint"]),
+            // node joins: its runtime and transports sit on the live
+            // frame path (arbitrary socket bytes in vivo), so decode
+            // and forward must return errors, never abort.
+            panic_crates: s(&[
+                "core",
+                "net",
+                "trace",
+                "crypto",
+                "experiments",
+                "lint",
+                "node",
+            ]),
             // sos-obs owns the span profiler, sos-bench owns timing.
             wallclock_exempt_crates: s(&["obs", "bench"]),
             // Frame/bundle encoders, trace codecs + the recorder that
@@ -50,6 +61,10 @@ impl Config {
                 "/journal.rs",
                 "/emit.rs",
                 "/shard.rs",
+                // The in-vivo control protocol renders report lines
+                // (stats / delivered / journal) that cross-process
+                // comparisons diff verbatim.
+                "/proto.rs",
             ]),
             // Everything that parses or emits wire bytes or imports
             // foreign corpora (R4/R5 motivation: the PR 5 `as u64`
@@ -63,6 +78,10 @@ impl Config {
                 "/handshake.rs",
                 "/session.rs",
                 "/advertisement.rs",
+                // The length-prefixed socket framing and the broker⇄
+                // daemon control codec parse bytes straight off TCP.
+                "/wire.rs",
+                "/proto.rs",
             ]),
         }
     }

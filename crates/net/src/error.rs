@@ -28,6 +28,13 @@ pub enum NetError {
     NotConnected,
     /// A handshake message arrived in the wrong state.
     UnexpectedHandshake,
+    /// A wire-framing length prefix exceeded
+    /// [`MAX_WIRE_FRAME`](crate::wire::MAX_WIRE_FRAME); rejected before
+    /// any buffer is allocated for it.
+    FrameTooLarge {
+        /// The length the prefix claimed.
+        len: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -42,6 +49,9 @@ impl fmt::Display for NetError {
             }
             NetError::NotConnected => f.write_str("session not connected"),
             NetError::UnexpectedHandshake => f.write_str("handshake message in wrong state"),
+            NetError::FrameTooLarge { len } => {
+                write!(f, "wire frame length {len} exceeds the framing cap")
+            }
         }
     }
 }

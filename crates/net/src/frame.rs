@@ -39,6 +39,35 @@ pub enum DisconnectReason {
 }
 
 impl DisconnectReason {
+    /// The canonical teardown classification for a transport-layer
+    /// error: security rejections (bad certificate, bad signature, bad
+    /// tag) are [`SecurityFailure`](DisconnectReason::SecurityFailure),
+    /// everything else (malformed frames, sequence gaps, state-machine
+    /// violations) is [`ProtocolError`](DisconnectReason::ProtocolError).
+    ///
+    /// Both the middleware's journal tags and the session endpoint's
+    /// [`close_reason`](crate::SessionEndpoint::close_reason) derive
+    /// from this one mapping, so simulation and in-vivo transports
+    /// report teardown causes identically.
+    pub fn for_error(e: &NetError) -> DisconnectReason {
+        match e {
+            NetError::Certificate(_) | NetError::Crypto(_) | NetError::BadHandshakeSignature => {
+                DisconnectReason::SecurityFailure
+            }
+            _ => DisconnectReason::ProtocolError,
+        }
+    }
+
+    /// The journal's stable tag vocabulary for this reason.
+    pub fn as_tag(self) -> &'static str {
+        match self {
+            DisconnectReason::OutOfRange => "out_of_range",
+            DisconnectReason::SecurityFailure => "security_failure",
+            DisconnectReason::Done => "done",
+            DisconnectReason::ProtocolError => "protocol_error",
+        }
+    }
+
     fn to_byte(self) -> u8 {
         match self {
             DisconnectReason::OutOfRange => 0,

@@ -20,6 +20,8 @@
 //! * [`link`] — per-bearer latency/bandwidth/loss models
 //! * [`session`] — the connection state machine the ad hoc manager runs
 //!   per peer
+//! * [`wire`] — length-prefixed stream framing for real byte transports
+//!   (the `sos-node` TCP loopback daemon)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,11 +33,13 @@ pub mod handshake;
 pub mod link;
 pub mod peer;
 pub mod session;
+pub mod wire;
 
 pub use advertisement::Advertisement;
 pub use error::NetError;
-pub use frame::{Frame, SYNC_BATCH_BUDGET};
+pub use frame::{DisconnectReason, Frame, SYNC_BATCH_BUDGET};
 pub use handshake::{HandshakeInit, HandshakeResponse, Initiator, Responder, SessionCrypto};
 pub use link::LinkModel;
 pub use peer::PeerId;
 pub use session::{SessionEndpoint, SessionState};
+pub use wire::{encode_wire, WireReader, MAX_WIRE_FRAME};

@@ -49,6 +49,9 @@ pub struct SessionEndpoint {
     initiator: Option<Initiator>,
     crypto: Option<SessionCrypto>,
     peer_certificate: Option<Certificate>,
+    /// Why the session reached `Disconnected` (set on every teardown
+    /// path, local or remote), so the transport can report the cause.
+    close_reason: Option<DisconnectReason>,
 }
 
 impl SessionEndpoint {
@@ -60,12 +63,30 @@ impl SessionEndpoint {
             initiator: None,
             crypto: None,
             peer_certificate: None,
+            close_reason: None,
         }
     }
 
     /// Current state.
     pub fn state(&self) -> SessionState {
         self.state
+    }
+
+    /// Why the session was torn down (`None` until it reaches
+    /// [`SessionState::Disconnected`]). Remote teardowns carry the
+    /// peer's stated reason; local error teardowns are classified by
+    /// [`DisconnectReason::for_error`] — so the journal's session-close
+    /// causes come out identically whether the endpoint runs under the
+    /// simulation driver or a real socket transport.
+    pub fn close_reason(&self) -> Option<DisconnectReason> {
+        self.close_reason
+    }
+
+    /// Transitions to `Disconnected`, recording the first cause (a
+    /// teardown cause is never overwritten by a later one).
+    fn disconnect(&mut self, reason: DisconnectReason) {
+        self.state = SessionState::Disconnected;
+        self.close_reason.get_or_insert(reason);
     }
 
     /// The validated peer certificate, once connected.
@@ -125,7 +146,7 @@ impl SessionEndpoint {
                         Ok(SessionEvent::Reply(Frame::HandshakeResponse(response)))
                     }
                     Err(e) => {
-                        self.state = SessionState::Disconnected;
+                        self.disconnect(DisconnectReason::for_error(&e));
                         Err(e)
                     }
                 }
@@ -139,7 +160,7 @@ impl SessionEndpoint {
                 // invariant is ever broken, fail the handshake instead
                 // of taking the process down.
                 let Some(init) = self.initiator.take() else {
-                    self.state = SessionState::Disconnected;
+                    self.disconnect(DisconnectReason::ProtocolError);
                     return Err(NetError::UnexpectedHandshake);
                 };
                 match init.finish(identity, &resp, now_secs) {
@@ -150,7 +171,7 @@ impl SessionEndpoint {
                         Ok(SessionEvent::Established(Box::new(peer_cert)))
                     }
                     Err(e) => {
-                        self.state = SessionState::Disconnected;
+                        self.disconnect(DisconnectReason::for_error(&e));
                         Err(e)
                     }
                 }
@@ -164,13 +185,13 @@ impl SessionEndpoint {
                         // Sequence gap or tag failure: the link dropped or
                         // an attacker injected; tear down (the message
                         // manager will re-sync on the next encounter).
-                        self.state = SessionState::Disconnected;
+                        self.disconnect(DisconnectReason::for_error(&e));
                         Err(e)
                     }
                 }
             }
             Frame::Disconnect { reason } => {
-                self.state = SessionState::Disconnected;
+                self.disconnect(reason);
                 Ok(SessionEvent::Closed(reason))
             }
             Frame::Advertisement(_) | Frame::Invite { .. } => {
@@ -198,7 +219,7 @@ impl SessionEndpoint {
     /// Marks the session closed locally and produces the notification
     /// frame for the peer.
     pub fn close(&mut self, reason: DisconnectReason) -> Frame {
-        self.state = SessionState::Disconnected;
+        self.disconnect(reason);
         Frame::Disconnect { reason }
     }
 }
@@ -335,6 +356,65 @@ mod tests {
         let err = alice_ep.on_frame(&alice, init, 0, &mut rng).unwrap_err();
         assert!(matches!(err, NetError::Certificate(_)));
         assert_eq!(alice_ep.state(), SessionState::Disconnected);
+    }
+
+    /// Every teardown path must leave a close reason behind for the
+    /// transport: local close, remote disconnect, security failure,
+    /// and protocol error each surface their own cause.
+    #[test]
+    fn close_reason_surfaces_each_teardown_cause() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+
+        // Local close: done.
+        let (alice, bob) = pair();
+        let mut ep = SessionEndpoint::new();
+        assert_eq!(ep.close_reason(), None);
+        ep.close(DisconnectReason::Done);
+        assert_eq!(ep.close_reason(), Some(DisconnectReason::Done));
+
+        // Remote disconnect carries the peer's stated reason.
+        let mut ep = SessionEndpoint::new();
+        let bye = Frame::Disconnect {
+            reason: DisconnectReason::OutOfRange,
+        };
+        ep.on_frame(&alice, bye, 0, &mut rng).unwrap();
+        assert_eq!(ep.close_reason(), Some(DisconnectReason::OutOfRange));
+
+        // Security failure: impostor certificate on handshake.
+        let mut evil_ca = CertificateAuthority::new("Root", [9u8; 32], 0, u64::MAX);
+        let mallory = identity(&mut evil_ca, 7, "bob");
+        let mut mallory_ep = SessionEndpoint::new();
+        let mut alice_ep = SessionEndpoint::new();
+        let init = mallory_ep.connect(&mallory, &mut rng).unwrap();
+        alice_ep.on_frame(&alice, init, 0, &mut rng).unwrap_err();
+        assert_eq!(
+            alice_ep.close_reason(),
+            Some(DisconnectReason::SecurityFailure)
+        );
+
+        // Protocol error: sequence gap on an established session.
+        let mut bob_ep = SessionEndpoint::new();
+        let mut alice_ep = SessionEndpoint::new();
+        let init = bob_ep.connect(&bob, &mut rng).unwrap();
+        let reply = match alice_ep.on_frame(&alice, init, 0, &mut rng).unwrap() {
+            SessionEvent::Reply(f) => f,
+            _ => unreachable!(),
+        };
+        bob_ep.on_frame(&bob, reply, 0, &mut rng).unwrap();
+        let _lost = bob_ep.send_payload(b"frame0").unwrap();
+        let second = bob_ep.send_payload(b"frame1").unwrap();
+        alice_ep.on_frame(&alice, second, 0, &mut rng).unwrap_err();
+        assert_eq!(
+            alice_ep.close_reason(),
+            Some(DisconnectReason::ProtocolError)
+        );
+
+        // The first cause sticks: a later local close cannot rewrite it.
+        alice_ep.close(DisconnectReason::Done);
+        assert_eq!(
+            alice_ep.close_reason(),
+            Some(DisconnectReason::ProtocolError)
+        );
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! The in-vivo node daemon: hosts a slice of the population and
+//! exchanges real middleware frames over TCP, conducted by
+//! `sos-broker`.
+//!
+//! ```text
+//! sos-node --broker 127.0.0.1:7700
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut broker = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--broker" => broker = args.next(),
+            "--help" | "-h" => {
+                println!("usage: sos-node --broker HOST:PORT");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sos-node: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(broker) = broker else {
+        eprintln!("sos-node: missing --broker HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    match sos_node::daemon::run_daemon(&broker) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sos-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

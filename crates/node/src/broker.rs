@@ -1,0 +1,373 @@
+//! The `sos-broker`: conducts an in-vivo run across N `sos-node`
+//! processes.
+//!
+//! The broker owns no middleware state. It walks the
+//! [`lockstep`](crate::lockstep) schedule derived from `(trace, plan)`
+//! and, over one control connection per daemon, feeds encounter
+//! transitions and posts, broadcasts advertisement ticks, and drives
+//! the barrier rounds:
+//!
+//! 1. `Collect` until the cumulative remote sent/received counters
+//!    balance (nothing in flight anywhere);
+//! 2. `Process` everywhere; repeat while anything was emitted.
+//!
+//! At the end it gathers each daemon's report stream (stats, delivered
+//! set, journal) into an [`InVivoOutcome`] directly comparable to
+//! [`MeshOutcome`](crate::mesh::MeshOutcome).
+
+use crate::lockstep::build_schedule;
+use crate::proto::{
+    parse_delivered_line, parse_stats_line, scheme_to_byte, InVivoError, Msg, MsgStream, ReportKind,
+};
+use crate::provision::RunPlan;
+use sos_core::middleware::SosStats;
+use sos_sim::SimTime;
+use sos_trace::{codec_text, ContactTrace};
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// Collect-barrier retries per round before the broker declares the
+/// fleet wedged (each retry sleeps [`COLLECT_RETRY_SLEEP`]).
+pub const MAX_COLLECT_RETRIES: u64 = 20_000;
+
+/// Sleep between collect retries while frames drain through loopback.
+pub const COLLECT_RETRY_SLEEP: Duration = Duration::from_millis(1);
+
+/// Exchange rounds per tick before the run is declared divergent
+/// (mirrors the mesh's cap).
+pub const MAX_ROUNDS_PER_TICK: u64 = 10_000;
+
+/// Accept-loop polls (at [`ACCEPT_POLL_SLEEP`] each) while waiting for
+/// daemons to connect.
+pub const MAX_ACCEPT_POLLS: u64 = 60_000;
+
+/// Sleep between accept polls.
+pub const ACCEPT_POLL_SLEEP: Duration = Duration::from_millis(5);
+
+/// Broker parameters.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// Address to listen for daemon control connections on.
+    pub listen: String,
+    /// Daemons to wait for before starting the run.
+    pub num_procs: usize,
+    /// The run parameters, shipped to every daemon in `Assign`.
+    pub plan: RunPlan,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            listen: "127.0.0.1:0".into(),
+            num_procs: 2,
+            plan: RunPlan::default(),
+        }
+    }
+}
+
+/// What an in-vivo run produced, shaped for comparison against
+/// [`run_mesh`](crate::mesh::run_mesh).
+#[derive(Debug)]
+pub struct InVivoOutcome {
+    /// Every stored bundle: `(holding node, author hex, post number)`.
+    pub delivered: BTreeSet<(u32, String, u64)>,
+    /// Per-node middleware counters, by node index.
+    pub stats: Vec<SosStats>,
+    /// Journal JSONL lines from all processes, sorted.
+    pub journal: Vec<String>,
+    /// Posts injected by the schedule.
+    pub posts: u64,
+    /// Exchange rounds driven across all ticks.
+    pub rounds: u64,
+}
+
+/// A bound broker: create with [`Broker::bind`], learn the port from
+/// [`Broker::local_addr`], hand it to the daemons, then [`Broker::run`].
+#[derive(Debug)]
+pub struct Broker {
+    listener: TcpListener,
+    config: BrokerConfig,
+}
+
+impl Broker {
+    /// Binds the control listener.
+    ///
+    /// # Errors
+    ///
+    /// [`InVivoError::Io`] if the address cannot be bound, or
+    /// [`InVivoError::Protocol`] for a zero-process configuration.
+    pub fn bind(config: BrokerConfig) -> Result<Broker, InVivoError> {
+        if config.num_procs == 0 {
+            return Err(InVivoError::Protocol("num_procs must be >= 1".into()));
+        }
+        let listener = TcpListener::bind(config.listen.as_str())?;
+        Ok(Broker { listener, config })
+    }
+
+    /// The bound control address daemons should connect to.
+    ///
+    /// # Errors
+    ///
+    /// [`InVivoError::Io`] if the socket's address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr, InVivoError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Conducts the full run and gathers the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`InVivoError`] when daemons fail to connect in time, violate
+    /// the protocol, or a barrier never converges.
+    pub fn run(self, trace: &ContactTrace) -> Result<InVivoOutcome, InVivoError> {
+        let mut daemons = self.accept_daemons()?;
+        self.assign(trace, &mut daemons)?;
+
+        let mut posts = 0u64;
+        let mut rounds = 0u64;
+        for (now, step) in build_schedule(trace, &self.config.plan) {
+            for &(a, b, up) in &step.encounters {
+                broadcast(
+                    &mut daemons,
+                    &Msg::Encounter {
+                        a: a as u32,
+                        b: b as u32,
+                        up,
+                    },
+                )?;
+            }
+            for &(node, number) in &step.posts {
+                broadcast(
+                    &mut daemons,
+                    &Msg::Post {
+                        node: node as u32,
+                        number,
+                        now_ms: now.as_millis(),
+                    },
+                )?;
+                posts += 1;
+            }
+            if step.tick {
+                rounds += drive_rounds(&mut daemons, now)?;
+            }
+        }
+
+        let mut outcome = gather_reports(&mut daemons, trace.node_count())?;
+        outcome.posts = posts;
+        outcome.rounds = rounds;
+        broadcast(&mut daemons, &Msg::Shutdown)?;
+        Ok(outcome)
+    }
+
+    /// Waits (bounded) for `num_procs` control connections + `Hello`s.
+    fn accept_daemons(&self) -> Result<Vec<(MsgStream, String)>, InVivoError> {
+        self.listener.set_nonblocking(true)?;
+        let mut daemons = Vec::with_capacity(self.config.num_procs);
+        let mut polls = 0u64;
+        while daemons.len() < self.config.num_procs {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+                    let mut control = MsgStream::new(stream);
+                    match control.recv()? {
+                        Msg::Hello { data_addr } => daemons.push((control, data_addr)),
+                        other => {
+                            return Err(InVivoError::Protocol(format!(
+                                "expected Hello, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    polls += 1;
+                    if polls > MAX_ACCEPT_POLLS {
+                        return Err(InVivoError::Protocol(format!(
+                            "only {}/{} daemons connected",
+                            daemons.len(),
+                            self.config.num_procs
+                        )));
+                    }
+                    std::thread::sleep(ACCEPT_POLL_SLEEP);
+                }
+                Err(e) => return Err(InVivoError::Io(e)),
+            }
+        }
+        Ok(daemons)
+    }
+
+    /// Ships every daemon its assignment (trace inline, native text).
+    fn assign(
+        &self,
+        trace: &ContactTrace,
+        daemons: &mut [(MsgStream, String)],
+    ) -> Result<(), InVivoError> {
+        let plan = &self.config.plan;
+        let scheme = scheme_to_byte(plan.scheme).ok_or_else(|| {
+            InVivoError::Protocol(format!(
+                "scheme {:?} has no wire encoding (custom schemes cannot run in vivo)",
+                plan.scheme
+            ))
+        })?;
+        let trace_text = codec_text::to_text(trace);
+        let hosts: Vec<String> = daemons.iter().map(|(_, addr)| addr.clone()).collect();
+        for (i, (control, _)) in daemons.iter_mut().enumerate() {
+            control.send(&Msg::Assign {
+                proc_index: i as u32,
+                num_procs: hosts.len() as u32,
+                scheme,
+                seed: plan.seed,
+                total_posts: plan.total_posts as u64,
+                ad_interval_ms: plan.ad_interval.as_millis(),
+                trace_text: trace_text.clone(),
+                hosts: hosts.clone(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Sends `msg` on every control connection.
+fn broadcast(daemons: &mut [(MsgStream, String)], msg: &Msg) -> Result<(), InVivoError> {
+    for (control, _) in daemons.iter_mut() {
+        control.send(msg)?;
+    }
+    Ok(())
+}
+
+/// One tick's barrier rounds: collect until in-flight drains, process,
+/// repeat while anything was emitted. Returns the round count.
+fn drive_rounds(daemons: &mut [(MsgStream, String)], now: SimTime) -> Result<u64, InVivoError> {
+    broadcast(
+        daemons,
+        &Msg::Tick {
+            now_ms: now.as_millis(),
+        },
+    )?;
+    let mut rounds = 0u64;
+    loop {
+        // Collect barrier: cumulative remote sent == received means no
+        // frame is still inside a socket buffer or reader thread.
+        let mut retries = 0u64;
+        loop {
+            broadcast(daemons, &Msg::Collect)?;
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+            for (control, _) in daemons.iter_mut() {
+                match control.recv()? {
+                    Msg::CollectAck { sent: s, recv: r } => {
+                        sent += s;
+                        recv += r;
+                    }
+                    other => {
+                        return Err(InVivoError::Protocol(format!(
+                            "expected CollectAck, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            if sent == recv {
+                break;
+            }
+            retries += 1;
+            if retries > MAX_COLLECT_RETRIES {
+                return Err(InVivoError::Protocol(format!(
+                    "collect barrier never converged at t={}ms ({sent} sent, {recv} received)",
+                    now.as_millis()
+                )));
+            }
+            std::thread::sleep(COLLECT_RETRY_SLEEP);
+        }
+
+        broadcast(daemons, &Msg::Process)?;
+        let mut emitted = 0u64;
+        for (control, _) in daemons.iter_mut() {
+            match control.recv()? {
+                Msg::ProcessAck { emitted: e } => emitted += e,
+                other => {
+                    return Err(InVivoError::Protocol(format!(
+                        "expected ProcessAck, got {other:?}"
+                    )))
+                }
+            }
+        }
+        rounds += 1;
+        if emitted == 0 {
+            return Ok(rounds);
+        }
+        if rounds > MAX_ROUNDS_PER_TICK {
+            return Err(InVivoError::Protocol(format!(
+                "exchange rounds at t={}ms exceeded {MAX_ROUNDS_PER_TICK}",
+                now.as_millis()
+            )));
+        }
+    }
+}
+
+/// Collects every daemon's report stream into one outcome.
+fn gather_reports(
+    daemons: &mut [(MsgStream, String)],
+    node_count: usize,
+) -> Result<InVivoOutcome, InVivoError> {
+    broadcast(daemons, &Msg::Finish)?;
+    let mut delivered = BTreeSet::new();
+    let mut stats = vec![SosStats::default(); node_count];
+    let mut journal: Vec<String> = Vec::new();
+    for (control, _) in daemons.iter_mut() {
+        loop {
+            match control.recv()? {
+                Msg::Report { kind, line } => match ReportKind::from_byte(kind) {
+                    Some(ReportKind::Stats) => {
+                        let (node, s) = parse_stats_line(&line).ok_or_else(|| {
+                            InVivoError::Protocol(format!("bad stats line: {line}"))
+                        })?;
+                        let slot = stats.get_mut(node as usize).ok_or_else(|| {
+                            InVivoError::Protocol(format!("stats for unknown node {node}"))
+                        })?;
+                        *slot = s;
+                    }
+                    Some(ReportKind::Delivered) => {
+                        let entry = parse_delivered_line(&line).ok_or_else(|| {
+                            InVivoError::Protocol(format!("bad delivered line: {line}"))
+                        })?;
+                        delivered.insert(entry);
+                    }
+                    Some(ReportKind::Journal) => journal.push(line),
+                    None => {
+                        return Err(InVivoError::Protocol(format!("unknown report kind {kind}")))
+                    }
+                },
+                Msg::ReportDone => break,
+                other => {
+                    return Err(InVivoError::Protocol(format!(
+                        "expected Report, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    journal.sort();
+    Ok(InVivoOutcome {
+        delivered,
+        stats,
+        journal,
+        posts: 0,
+        rounds: 0,
+    })
+}
+
+/// Convenience: bind on `config.listen`, run, return the outcome. Use
+/// [`Broker::bind`] + [`Broker::run`] when the caller must learn the
+/// port before daemons start (tests, `--spawn`).
+///
+/// # Errors
+///
+/// Any [`InVivoError`] from bind or the run.
+pub fn run_broker(
+    trace: &ContactTrace,
+    config: BrokerConfig,
+) -> Result<InVivoOutcome, InVivoError> {
+    Broker::bind(config)?.run(trace)
+}

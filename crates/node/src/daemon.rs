@@ -1,0 +1,377 @@
+//! The `sos-node` daemon: one OS process hosting a slice of the node
+//! population, exchanging real middleware frames over TCP and obeying
+//! the broker's lockstep conducting.
+//!
+//! Two planes:
+//!
+//! * **control** — a single connection to the broker; strictly
+//!   serial command/ack, so TCP's FIFO ordering sequences the run.
+//! * **data** — daemon⇄daemon connections carrying [`Msg::Data`]
+//!   frames. A listener thread accepts, per-connection reader threads
+//!   decode and forward onto an `mpsc` channel, and the main loop
+//!   drains that channel **only** at `Collect` — frames that arrive
+//!   mid-round wait for the next barrier, which is what makes a
+//!   socket run reproduce the in-process mesh exactly.
+//!
+//! No wall clock anywhere: virtual time arrives in `Tick` messages,
+//! and hang protection is socket read timeouts, not `Instant::now`.
+
+use crate::proto::{
+    delivered_line, scheme_from_byte, stats_line, InVivoError, Msg, MsgStream, ReportKind,
+};
+use crate::provision::{load_trace_bytes, provision_apps, provision_runtime, RunPlan};
+use crate::runtime::{NodeError, NodeRuntime};
+use sos_net::PeerId;
+use sos_obs::{JournalHandle, NodeObs};
+use sos_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Read timeout on the control plane: a broker silent this long means
+/// the run is dead and the daemon should exit instead of hanging CI.
+pub const CONTROL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One received data frame: `(from, to, seq, frame bytes)`.
+type DataFrame = (u32, u32, u64, Vec<u8>);
+
+/// The provisioned state a daemon holds between `Assign` and `Finish`.
+struct World {
+    /// Hosted runtimes, keyed by global node index.
+    runtimes: BTreeMap<usize, NodeRuntime>,
+    /// Data addresses of every process.
+    hosts: Vec<String>,
+    /// This process's index (node `i` lives on process `i % num_procs`).
+    proc_index: usize,
+    /// Total processes.
+    num_procs: usize,
+    /// Shared journal behind every hosted node's `NodeObs`.
+    journal: JournalHandle,
+    /// Cached outbound data connections, by remote process index.
+    dials: BTreeMap<usize, TcpStream>,
+    /// Per-`(from, to)` sequence counters for frames this process sends.
+    seqs: BTreeMap<(u32, u32), u64>,
+    /// Round buffer: frames awaiting the next `Process`.
+    buffer: Vec<DataFrame>,
+    /// Cumulative frames sent to *other* processes.
+    sent_remote: u64,
+    /// Cumulative frames received from *other* processes.
+    recv_remote: u64,
+}
+
+impl World {
+    fn hosts_node(&self, node: usize) -> bool {
+        node % self.num_procs == self.proc_index
+    }
+
+    /// Drains every hosted runtime's outbox: frames to locally hosted
+    /// nodes land straight in the round buffer; frames to remote nodes
+    /// ride a data connection. Returns the number emitted.
+    fn flush(&mut self) -> Result<u64, InVivoError> {
+        let mut emitted = 0u64;
+        let mut remote: Vec<DataFrame> = Vec::new();
+        let node_ids: Vec<usize> = self.runtimes.keys().copied().collect();
+        for from in node_ids {
+            let out = match self.runtimes.get_mut(&from) {
+                Some(rt) => rt.poll_output(),
+                None => continue,
+            };
+            let from = from as u32;
+            for (to, bytes) in out {
+                let seq = self.seqs.entry((from, to.0)).or_insert(0);
+                let frame = (from, to.0, *seq, bytes);
+                *seq += 1;
+                emitted += 1;
+                if self.hosts_node(to.0 as usize) {
+                    self.buffer.push(frame);
+                } else {
+                    remote.push(frame);
+                }
+            }
+        }
+        for (from, to, seq, bytes) in remote {
+            self.send_data(from, to, seq, bytes)?;
+        }
+        Ok(emitted)
+    }
+
+    /// Ships one frame to the process hosting `to`, dialing (and
+    /// caching) the data connection on first use.
+    fn send_data(
+        &mut self,
+        from: u32,
+        to: u32,
+        seq: u64,
+        frame: Vec<u8>,
+    ) -> Result<(), InVivoError> {
+        use std::io::Write;
+        let proc = to as usize % self.num_procs;
+        if !self.dials.contains_key(&proc) {
+            let addr = self.hosts.get(proc).ok_or_else(|| {
+                InVivoError::Protocol(format!("no host registered for process {proc}"))
+            })?;
+            let stream = TcpStream::connect(addr.as_str())?;
+            stream.set_nodelay(true)?;
+            self.dials.insert(proc, stream);
+        }
+        let msg = Msg::Data {
+            from,
+            to,
+            seq,
+            frame,
+        };
+        let framed = sos_net::encode_wire(&msg.encode())?;
+        if let Some(stream) = self.dials.get_mut(&proc) {
+            stream.write_all(&framed)?;
+        }
+        self.sent_remote += 1;
+        Ok(())
+    }
+
+    /// Processes the round buffer in the layout-invariant
+    /// `(to, from, seq)` order, then flushes replies.
+    fn process_round(&mut self) -> Result<u64, InVivoError> {
+        self.buffer.sort_by_key(|x| (x.1, x.0, x.2));
+        let round = std::mem::take(&mut self.buffer);
+        for (from, to, _seq, bytes) in round {
+            let Some(rt) = self.runtimes.get_mut(&(to as usize)) else {
+                return Err(InVivoError::Protocol(format!(
+                    "data frame for node {to}, which this process does not host"
+                )));
+            };
+            match rt.push_frame(PeerId(from), &bytes) {
+                // Racing a contact-down: dropped, as in simulation.
+                Ok(()) | Err(NodeError::NotInContact { .. }) => {}
+                Err(NodeError::Codec(e)) => return Err(InVivoError::Codec(e)),
+            }
+        }
+        self.flush()
+    }
+}
+
+/// Builds the hosted world from the broker's [`Msg::Assign`]; any
+/// other message is a protocol violation.
+fn build_world(assign: Msg) -> Result<World, InVivoError> {
+    let (proc_index, num_procs, scheme, seed, total_posts, ad_interval_ms, trace_text, hosts) =
+        match assign {
+            Msg::Assign {
+                proc_index,
+                num_procs,
+                scheme,
+                seed,
+                total_posts,
+                ad_interval_ms,
+                trace_text,
+                hosts,
+            } => (
+                proc_index,
+                num_procs,
+                scheme,
+                seed,
+                total_posts,
+                ad_interval_ms,
+                trace_text,
+                hosts,
+            ),
+            other => {
+                return Err(InVivoError::Protocol(format!(
+                    "expected Assign, got {other:?}"
+                )))
+            }
+        };
+    let scheme = scheme_from_byte(scheme)
+        .ok_or_else(|| InVivoError::Protocol(format!("unknown scheme byte {scheme}")))?;
+    let trace = load_trace_bytes(trace_text.as_bytes()).map_err(InVivoError::Trace)?;
+    let plan = RunPlan {
+        scheme,
+        seed,
+        total_posts: total_posts as usize,
+        ad_interval: SimDuration::from_millis(ad_interval_ms),
+    };
+    let n = trace.node_count();
+    let num_procs = num_procs as usize;
+    let proc_index = proc_index as usize;
+    if proc_index >= num_procs {
+        return Err(InVivoError::Protocol(format!(
+            "process index {proc_index} out of range for {num_procs} processes"
+        )));
+    }
+    let journal = JournalHandle::new();
+    // Every process rebuilds the whole population (same CA ⇒ mutually
+    // valid certificates), then keeps only its slice.
+    let runtimes: BTreeMap<usize, NodeRuntime> = provision_apps(&trace, &plan)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % num_procs == proc_index)
+        .map(|(i, mut app)| {
+            app.middleware_mut()
+                .attach_obs(NodeObs::new(i as u32, journal.clone()));
+            (i, provision_runtime(app, i, n, &plan))
+        })
+        .collect();
+    Ok(World {
+        runtimes,
+        hosts,
+        proc_index,
+        num_procs,
+        journal,
+        dials: BTreeMap::new(),
+        seqs: BTreeMap::new(),
+        buffer: Vec::new(),
+        sent_remote: 0,
+        recv_remote: 0,
+    })
+}
+
+/// Accept loop + per-connection readers for the data plane; every
+/// decoded [`Msg::Data`] is forwarded to `tx`.
+fn spawn_data_plane(listener: TcpListener, tx: mpsc::Sender<DataFrame>) {
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            let tx = tx.clone();
+            std::thread::spawn(move || read_data_conn(stream, &tx));
+        }
+    });
+}
+
+/// Reads one data connection to EOF, forwarding frames.
+fn read_data_conn(mut stream: TcpStream, tx: &mpsc::Sender<DataFrame>) {
+    let mut reader = sos_net::WireReader::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match reader.next_message() {
+            Ok(Some(payload)) => {
+                if let Ok(Msg::Data {
+                    from,
+                    to,
+                    seq,
+                    frame,
+                }) = Msg::decode(&payload)
+                {
+                    if tx.send((from, to, seq, frame)).is_err() {
+                        return;
+                    }
+                }
+                continue;
+            }
+            Ok(None) => {}
+            // A malformed peer poisons only its own connection.
+            Err(_) => return,
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => reader.push_bytes(&chunk[..n]),
+        }
+    }
+}
+
+/// Runs one daemon process to completion: connect to the broker at
+/// `broker_addr`, follow the lockstep protocol, exit on `Shutdown`.
+///
+/// # Errors
+///
+/// Any [`InVivoError`]: broker unreachable, protocol violation, socket
+/// failure, or trace rejection.
+pub fn run_daemon(broker_addr: &str) -> Result<(), InVivoError> {
+    let control = TcpStream::connect(broker_addr)?;
+    control.set_nodelay(true)?;
+    control.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+    let mut control = MsgStream::new(control);
+
+    let data_listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_addr = data_listener.local_addr()?.to_string();
+    let (tx, rx) = mpsc::channel::<DataFrame>();
+    spawn_data_plane(data_listener, tx);
+
+    control.send(&Msg::Hello { data_addr })?;
+    let mut world = build_world(control.recv()?)?;
+
+    loop {
+        match control.recv()? {
+            Msg::Encounter { a, b, up } => {
+                let (a, b) = (a as usize, b as usize);
+                for (node, peer) in [(a, b), (b, a)] {
+                    if let Some(rt) = world.runtimes.get_mut(&node) {
+                        if up {
+                            rt.on_encounter_up(PeerId(peer as u32));
+                        } else {
+                            rt.on_encounter_down(PeerId(peer as u32));
+                        }
+                    }
+                }
+            }
+            Msg::Post {
+                node,
+                number,
+                now_ms,
+            } => {
+                if let Some(rt) = world.runtimes.get_mut(&(node as usize)) {
+                    let text = format!("post #{number} by {}", rt.app().handle());
+                    rt.post(&text, SimTime::from_millis(now_ms));
+                }
+            }
+            Msg::Tick { now_ms } => {
+                let now = SimTime::from_millis(now_ms);
+                for rt in world.runtimes.values_mut() {
+                    rt.advance_to(now);
+                }
+                world.flush()?;
+            }
+            Msg::Collect => {
+                while let Ok(frame) = rx.try_recv() {
+                    world.recv_remote += 1;
+                    world.buffer.push(frame);
+                }
+                control.send(&Msg::CollectAck {
+                    sent: world.sent_remote,
+                    recv: world.recv_remote,
+                })?;
+            }
+            Msg::Process => {
+                let emitted = world.process_round()?;
+                control.send(&Msg::ProcessAck { emitted })?;
+            }
+            Msg::Finish => {
+                send_reports(&mut control, &mut world)?;
+            }
+            Msg::Shutdown => return Ok(()),
+            other => {
+                return Err(InVivoError::Protocol(format!(
+                    "unexpected control message {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Streams the per-node reports: stats and delivered lines for hosted
+/// nodes, journal JSONL, then `ReportDone`.
+fn send_reports(control: &mut MsgStream, world: &mut World) -> Result<(), InVivoError> {
+    for (&node, rt) in &mut world.runtimes {
+        rt.take_events();
+        control.send(&Msg::Report {
+            kind: ReportKind::Stats.to_byte(),
+            line: stats_line(node as u32, &rt.stats()),
+        })?;
+    }
+    for (&node, rt) in &world.runtimes {
+        for bundle in rt.app().middleware().store().iter() {
+            let id = &bundle.message.id;
+            control.send(&Msg::Report {
+                kind: ReportKind::Delivered.to_byte(),
+                line: delivered_line(node as u32, id.author.as_bytes(), id.number),
+            })?;
+        }
+    }
+    for entry in world.journal.snapshot().entries() {
+        control.send(&Msg::Report {
+            kind: ReportKind::Journal.to_byte(),
+            line: entry.to_jsonl(),
+        })?;
+    }
+    control.send(&Msg::ReportDone)?;
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Sans-I/O node runtime for the SOS middleware, plus the in-vivo
+//! transports that carry it over real sockets.
+//!
+//! The ICDCS'17 paper's point is that the *same* middleware that was
+//! simulated can be evaluated **in vivo** — on live devices exchanging
+//! real packets. This crate makes that literal for the reproduction:
+//!
+//! - [`runtime`] — [`runtime::NodeRuntime`], the pure
+//!   state machine: middleware + app behind a transport-agnostic API
+//!   (`push_frame` / `poll_output` / `on_encounter_up` / `advance_to`).
+//!   No sockets, no clocks, no threads; time is always injected.
+//! - [`provision`] — deterministic world building: every transport
+//!   rebuilds the same population (CA, keys, subscriptions, workload)
+//!   from `(trace, plan)`.
+//! - [`lockstep`] — the barrier-synchronized schedule that makes a
+//!   socket run reproduce the in-process run byte-for-byte.
+//! - [`mesh`] — the in-process reference transport
+//!   ([`mesh::run_mesh`]): the lockstep protocol with
+//!   function calls instead of sockets.
+//! - [`proto`] — the broker⇄daemon control codec and report lines.
+//! - [`daemon`] / [`broker`] — the real-socket transport: N OS
+//!   processes (`sos-node` binaries) exchanging frames over TCP
+//!   loopback, conducted by a broker (`sos-broker`) that feeds them
+//!   encounter events from any contact trace.
+//!
+//! The simulation driver in `sos-experiments` is a thin client of
+//! [`runtime`]: it adds link physics (loss, delay, range) on top of the
+//! same state machine the daemons run verbatim.
+
+pub mod broker;
+pub mod daemon;
+pub mod lockstep;
+pub mod mesh;
+pub mod proto;
+pub mod provision;
+pub mod runtime;
+
+pub use broker::{run_broker, Broker, BrokerConfig, InVivoOutcome};
+pub use lockstep::{build_schedule, Step};
+pub use mesh::{run_mesh, MeshOutcome};
+pub use provision::{provision_apps, provision_runtime, RunPlan};
+pub use runtime::{NodeConfig, NodeError, NodeRuntime};
